@@ -1,0 +1,184 @@
+// Benchmarks regenerating every figure and table of the paper's evaluation
+// at reduced (shape-preserving) fidelity, one benchmark per artifact, plus
+// the ablation benches DESIGN.md calls out. Each reports headline medians as
+// custom metrics so `go test -bench` output doubles as a miniature results
+// table. Full-fidelity regeneration lives in cmd/figures.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+)
+
+// benchConfig is small enough for -bench runs while preserving shapes.
+func benchConfig() experiments.Config {
+	return experiments.Config{Trials: 3, NMax: 40, NStep: 20, Seed: 1}
+}
+
+// runFigure benchmarks one registered experiment and reports the last-point
+// median of each series as a metric.
+func runFigure(b *testing.B, id string, cfg experiments.Config) {
+	gen, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	var tab harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = gen.Run(cfg)
+	}
+	for _, s := range tab.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		b.ReportMetric(s.Points[len(s.Points)-1].Median, s.Name+"_median")
+	}
+}
+
+func BenchmarkFig03CWSlots64B(b *testing.B)      { runFigure(b, "fig3", benchConfig()) }
+func BenchmarkFig04CWSlots1024B(b *testing.B)    { runFigure(b, "fig4", benchConfig()) }
+func BenchmarkFig05CWSlotsAbstract(b *testing.B) { runFigure(b, "fig5", benchConfig()) }
+func BenchmarkFig06CWSlotsHalf(b *testing.B)     { runFigure(b, "fig6", benchConfig()) }
+func BenchmarkFig07TotalTime64B(b *testing.B)    { runFigure(b, "fig7", benchConfig()) }
+func BenchmarkFig08TotalTime1024B(b *testing.B)  { runFigure(b, "fig8", benchConfig()) }
+func BenchmarkFig09HalfTime64B(b *testing.B)     { runFigure(b, "fig9", benchConfig()) }
+func BenchmarkFig10HalfTime1024B(b *testing.B)   { runFigure(b, "fig10", benchConfig()) }
+func BenchmarkFig11MaxAckTimeouts(b *testing.B)  { runFigure(b, "fig11", benchConfig()) }
+func BenchmarkFig12AckTimeoutWait(b *testing.B)  { runFigure(b, "fig12", benchConfig()) }
+
+func BenchmarkFig13Trace(b *testing.B) {
+	cfg := benchConfig()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out, _ = experiments.Figure13(cfg)
+	}
+	b.ReportMetric(float64(len(out)), "render_bytes")
+}
+
+func BenchmarkFig14PayloadRegression(b *testing.B) {
+	cfg := benchConfig()
+	cfg.NMax = 40   // n for the fixed-size batch
+	cfg.NStep = 450 // payload step
+	runFigure(b, "fig14", cfg)
+}
+
+func BenchmarkFig15LargeN(b *testing.B) {
+	cfg := experiments.Config{Trials: 3, NMax: 20000, NStep: 10000, Seed: 1}
+	runFigure(b, "fig15", cfg)
+}
+
+func BenchmarkFig16CollisionRatios(b *testing.B) {
+	cfg := experiments.Config{Trials: 3, NMax: 20000, NStep: 10000, Seed: 1}
+	runFigure(b, "fig16", cfg)
+}
+
+func BenchmarkFig18SizeEstimates(b *testing.B)    { runFigure(b, "fig18", benchConfig()) }
+func BenchmarkFig19BestOfKTotalTime(b *testing.B) { runFigure(b, "fig19", benchConfig()) }
+
+func BenchmarkTableIIICollisions(b *testing.B) {
+	cfg := experiments.Config{Trials: 3, NMax: 8192, Seed: 1}
+	runFigure(b, "tab3", cfg)
+}
+
+func BenchmarkDecomposition(b *testing.B) {
+	cfg := experiments.Config{Trials: 3, NMax: 60, Seed: 1}
+	runFigure(b, "decomp", cfg)
+}
+
+func BenchmarkRTSCTS(b *testing.B) {
+	cfg := experiments.Config{Trials: 3, NMax: 40, NStep: 1, Seed: 1}
+	runFigure(b, "rts", cfg)
+}
+
+func BenchmarkMinPacket(b *testing.B) {
+	cfg := experiments.Config{Trials: 3, NMax: 40, Seed: 1}
+	runFigure(b, "minpkt", cfg)
+}
+
+// --- Ablation benches (DESIGN.md "Key design decisions") -------------------
+
+func BenchmarkAblationCapture(b *testing.B) {
+	cfg := experiments.Config{Trials: 3, NMax: 24, Seed: 1}
+	var tab harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.AblationCapture(cfg)
+	}
+	for _, s := range tab.Series {
+		b.ReportMetric(s.Points[len(s.Points)-1].Median, s.Name+"_collisions")
+	}
+}
+
+func BenchmarkAblationAlignment(b *testing.B) {
+	cfg := experiments.Config{Trials: 3, NMax: 100, NStep: 50, Seed: 1}
+	var tab harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.AblationAlignment(cfg)
+	}
+	for _, s := range tab.Series {
+		b.ReportMetric(s.Points[len(s.Points)-1].Median, s.Name+"_collisions")
+	}
+}
+
+func BenchmarkAblationAckTimeout(b *testing.B) {
+	cfg := experiments.Config{Trials: 3, NMax: 40, Seed: 1}
+	var tab harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.AblationAckTimeout(cfg)
+	}
+	s := tab.Series[0]
+	b.ReportMetric(s.Points[len(s.Points)-1].Median, "wait_at_600us")
+}
+
+func BenchmarkInstantDetectSpectrum(b *testing.B) {
+	cfg := experiments.Config{Trials: 3, NMax: 60, Seed: 1}
+	runFigure(b, "instant", cfg)
+}
+
+func BenchmarkSaturatedThroughput(b *testing.B) {
+	cfg := experiments.Config{Trials: 3, NMax: 20, NStep: 10, Seed: 1}
+	runFigure(b, "tput", cfg)
+}
+
+// --- Single-run microbenches for the public API ----------------------------
+
+func BenchmarkWiFiBatchBEB100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunWiFiBatch(100, BEB, WithSeed(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAbstractBatchBEB1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAbstractBatch(1000, BEB, WithSeed(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestOfK100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunBestOfK(100, 3, WithSeed(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeBatch1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTreeBatch(1000, WithSeed(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContinuousSaturated20(b *testing.B) {
+	std := WithConfig(func(c *MACConfig) { c.CWMin = 16 })
+	for i := 0; i < b.N; i++ {
+		if _, err := RunContinuousTraffic(20, BEB, Saturated(), 50_000_000, WithSeed(uint64(i)), std); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command contend runs a single contention-resolution experiment and prints
+// its metrics: the quickest way to poke at one algorithm on one channel
+// model.
+//
+// Usage:
+//
+//	contend -algo BEB -n 150 -model wifi -trials 10
+//	contend -algo STB -n 1000 -model abstract
+//	contend -algo best-of-3 -n 150
+//	contend -algo LLB -n 150 -payload 1024 -rts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "BEB", "BEB, LB, LLB, STB, FIXED:<w>, POLY:<p>, or best-of-<k>")
+		n       = flag.Int("n", 150, "batch size (number of stations)")
+		model   = flag.String("model", "wifi", "channel model: wifi or abstract")
+		payload = flag.Int("payload", 64, "payload bytes (wifi)")
+		rts     = flag.Bool("rts", false, "enable RTS/CTS (wifi)")
+		trials  = flag.Int("trials", 10, "number of trials")
+		seed    = flag.Uint64("seed", 0, "base random seed")
+	)
+	flag.Parse()
+
+	var bokK int
+	if _, err := fmt.Sscanf(strings.ToLower(*algo), "best-of-%d", &bokK); err == nil && bokK >= 1 {
+		runBestOfK(bokK, *n, *payload, *trials, *seed)
+		return
+	}
+
+	type metrics struct {
+		totalUs, cwSlots, collisions, maxTO []float64
+	}
+	var m metrics
+	for tr := 0; tr < *trials; tr++ {
+		opts := []repro.Option{repro.WithSeed(*seed + uint64(tr)), repro.WithPayload(*payload)}
+		if *rts {
+			opts = append(opts, repro.WithRTSCTS())
+		}
+		var res repro.BatchResult
+		var err error
+		switch *model {
+		case "wifi":
+			res, err = repro.RunWiFiBatch(*n, *algo, opts...)
+		case "abstract":
+			res, err = repro.RunAbstractBatch(*n, *algo, opts...)
+		default:
+			err = fmt.Errorf("unknown model %q", *model)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "contend: %v\n", err)
+			os.Exit(1)
+		}
+		m.totalUs = append(m.totalUs, float64(res.TotalTime)/float64(time.Microsecond))
+		m.cwSlots = append(m.cwSlots, float64(res.CWSlots))
+		m.collisions = append(m.collisions, float64(res.Collisions))
+		m.maxTO = append(m.maxTO, float64(res.MaxAckTimeouts))
+	}
+
+	fmt.Printf("%s on %s, n=%d, payload=%dB, %d trials\n", *algo, *model, *n, *payload, *trials)
+	printStat("CW slots", m.cwSlots)
+	printStat("disjoint collisions", m.collisions)
+	if *model == "wifi" {
+		printStat("total time (µs)", m.totalUs)
+		printStat("max ACK timeouts", m.maxTO)
+		// Decomposition from a representative run (the median-total trial).
+		idx := medianIndex(m.totalUs)
+		res, _ := repro.RunWiFiBatch(*n, *algo,
+			repro.WithSeed(*seed+uint64(idx)), repro.WithPayload(*payload))
+		fmt.Printf("decomposition (median trial): %v\n", res.Decomposition)
+	}
+}
+
+func runBestOfK(k, n, payload, trials int, seed uint64) {
+	var totals, ests []float64
+	for tr := 0; tr < trials; tr++ {
+		res, err := repro.RunBestOfK(n, k,
+			repro.WithSeed(seed+uint64(tr)), repro.WithPayload(payload))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "contend: %v\n", err)
+			os.Exit(1)
+		}
+		totals = append(totals, float64(res.TotalTime)/float64(time.Microsecond))
+		ests = append(ests, float64(res.MedianEstimate))
+	}
+	fmt.Printf("best-of-%d on wifi, n=%d, payload=%dB, %d trials\n", k, n, payload, trials)
+	printStat("total time (µs)", totals)
+	printStat("estimate of n", ests)
+}
+
+func printStat(name string, xs []float64) {
+	s := stats.Summarize(xs)
+	fmt.Printf("  %-22s median %10.1f   [95%% CI %.1f, %.1f]   mean %.1f\n",
+		name, s.Median, s.MedianLo, s.MedianHi, s.Mean)
+}
+
+func medianIndex(xs []float64) int {
+	type kv struct {
+		v float64
+		i int
+	}
+	s := make([]kv, len(xs))
+	for i, v := range xs {
+		s[i] = kv{v, i}
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a].v < s[b].v })
+	return s[len(s)/2].i
+}

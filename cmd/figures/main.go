@@ -1,0 +1,151 @@
+// Command figures regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	figures -list                      # show available experiments
+//	figures -fig fig7                  # regenerate one figure
+//	figures -fig all -out results      # regenerate everything, write CSVs
+//	figures -fig fig15 -trials 50 -nmax 100000 -step 4000   # full fidelity
+//
+// Without fidelity flags each experiment uses its paper-default trial count
+// and axis; -quick switches to the reduced configuration used by tests.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/mac"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment id (fig3..fig19, tab3, decomp, rts, minpkt, ablations) or 'all'")
+		list    = flag.Bool("list", false, "list experiments and the Table I configuration")
+		out     = flag.String("out", "", "directory for CSV output (created if missing)")
+		plot    = flag.Bool("plot", true, "render ASCII plots alongside tables")
+		quick   = flag.Bool("quick", false, "use the reduced test-fidelity configuration")
+		trials  = flag.Int("trials", 0, "override trials per point")
+		nmax    = flag.Int("nmax", 0, "override the maximum n (or payload for fig14)")
+		step    = flag.Int("step", 0, "override the sweep step")
+		seed    = flag.Uint64("seed", 0, "random seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *list {
+		printList()
+		return
+	}
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "figures: -fig <id>|all required (see -list)")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Trials: *trials, NMax: *nmax, NStep: *step, Seed: *seed, Workers: *workers}
+	if *quick {
+		q := experiments.Quick()
+		if cfg.Trials == 0 {
+			cfg.Trials = q.Trials
+		}
+		if cfg.NMax == 0 {
+			cfg.NMax = q.NMax
+		}
+		if cfg.NStep == 0 {
+			cfg.NStep = q.NStep
+		}
+	}
+
+	gens := append(experiments.All(), experiments.Extras()...)
+	if *fig != "all" {
+		g, ok := experiments.ByID(*fig)
+		if !ok && *fig != "fig13" {
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (see -list)\n", *fig)
+			os.Exit(2)
+		}
+		if *fig == "fig13" {
+			gens = nil
+		} else {
+			gens = []experiments.Generator{g}
+		}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// Figure 13 is a timeline, not a table; include it for 'all' or by id.
+	if *fig == "all" || *fig == "fig13" {
+		render, rec := experiments.Figure13(cfg)
+		fmt.Println(render)
+		if *out != "" {
+			f, err := os.Create(filepath.Join(*out, "fig13.csv"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			if err := rec.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			}
+			f.Close()
+		}
+	}
+
+	for _, g := range gens {
+		start := time.Now()
+		tab := g.Run(cfg)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if err := tab.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		if *plot {
+			if err := tab.WritePlot(os.Stdout, 78, 16); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			}
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", g.ID, elapsed)
+		if *out != "" {
+			path := filepath.Join(*out, g.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			if err := tab.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: write %s: %v\n", path, err)
+			}
+			f.Close()
+		}
+	}
+}
+
+func printList() {
+	fmt.Println("Experiments (one per paper figure/table):")
+	for _, g := range experiments.All() {
+		fmt.Printf("  %-8s %s\n", g.ID, g.Title)
+	}
+	fmt.Printf("  %-8s %s\n", "fig13", "Execution timeline of BEB with 20 stations")
+	fmt.Println("\nExtensions and ablations:")
+	for _, g := range experiments.Extras() {
+		fmt.Printf("  %-16s %s\n", g.ID, g.Title)
+	}
+	cfg := mac.DefaultConfig()
+	fmt.Println("\nTable I configuration (defaults):")
+	fmt.Printf("  data rate            54 Mbit/s (OFDM)\n")
+	fmt.Printf("  slot duration        %v\n", cfg.SlotTime)
+	fmt.Printf("  SIFS                 %v\n", cfg.SIFS)
+	fmt.Printf("  DIFS                 %v\n", cfg.DIFS)
+	fmt.Printf("  ACK timeout          %v\n", cfg.AckTimeout)
+	fmt.Printf("  preamble             20µs\n")
+	fmt.Printf("  packet overhead      %d bytes\n", cfg.OverheadBytes)
+	fmt.Printf("  CW min/max           %d / %d\n", cfg.CWMin, cfg.CWMax)
+	fmt.Printf("  RTS/CTS              off (flag-selectable per experiment)\n")
+}

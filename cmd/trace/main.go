@@ -1,0 +1,61 @@
+// Command trace renders the paper's Figure 13: a per-station timeline of
+// one DCF run, with transmissions as thick marks and ACK timeouts as thin
+// marks.
+//
+// Usage:
+//
+//	trace -algo BEB -n 20
+//	trace -algo STB -n 10 -width 140 -csv events.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "BEB", "algorithm: BEB, LB, LLB, STB")
+		n       = flag.Int("n", 20, "number of stations (the paper uses 20)")
+		payload = flag.Int("payload", 64, "payload bytes")
+		seed    = flag.Uint64("seed", 0, "random seed")
+		width   = flag.Int("width", 110, "timeline width in columns")
+		showAP  = flag.Bool("ap", true, "include the access point row")
+		csvPath = flag.String("csv", "", "also dump raw events to this CSV file")
+	)
+	flag.Parse()
+
+	rec := &trace.Recorder{}
+	res, err := repro.RunWiFiBatch(*n, *algo,
+		repro.WithSeed(*seed), repro.WithPayload(*payload), repro.WithTrace(rec))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Execution of %s with %d stations (█ tx, x ACK timeout, * success)\n", *algo, *n)
+	if err := rec.Render(os.Stdout, trace.RenderOptions{Width: *width, ShowAP: *showAP}); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("total time %v, %d disjoint collisions, %d CW slots\n",
+		res.TotalTime, res.Collisions, res.CWSlots)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("events written to %s\n", *csvPath)
+	}
+}

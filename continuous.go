@@ -1,0 +1,167 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mac"
+	"repro/internal/rng"
+	"repro/internal/saturation"
+	"repro/internal/slotted"
+	"repro/internal/traffic"
+)
+
+// Continuous-traffic API: the paper's single batch is its strongest case
+// against BEB; this extension runs the same MAC under ongoing arrivals
+// (Poisson, periodic, saturated, or heavy-tailed bursts) and reports
+// throughput, latency and fairness — the regimes of the paper's related
+// work and concluding questions.
+
+// ArrivalSpec selects a packet-arrival process for RunContinuousTraffic.
+type ArrivalSpec struct {
+	kind string
+	rate float64       // poisson: packets/s
+	gap  time.Duration // periodic interval; pareto min gap
+	// pareto parameters
+	alpha float64
+	burst float64
+}
+
+// Poisson arrivals at rate packets per second per station.
+func Poisson(rate float64) ArrivalSpec { return ArrivalSpec{kind: "poisson", rate: rate} }
+
+// Periodic arrivals, one packet per interval per station.
+func Periodic(interval time.Duration) ArrivalSpec {
+	return ArrivalSpec{kind: "periodic", gap: interval}
+}
+
+// Saturated traffic: every station always has the next packet queued.
+func Saturated() ArrivalSpec { return ArrivalSpec{kind: "saturated"} }
+
+// BurstyPareto emits geometric bursts (mean burstSize packets back-to-back)
+// separated by Pareto(alpha) quiet gaps of at least minGap — the on/off
+// construction behind self-similar traffic.
+func BurstyPareto(alpha float64, minGap time.Duration, burstSize float64) ArrivalSpec {
+	return ArrivalSpec{kind: "pareto", alpha: alpha, gap: minGap, burst: burstSize}
+}
+
+func (a ArrivalSpec) process() (traffic.Process, error) {
+	switch a.kind {
+	case "poisson":
+		if a.rate <= 0 {
+			return nil, fmt.Errorf("repro: Poisson rate must be positive, got %v", a.rate)
+		}
+		return traffic.NewPoisson(a.rate), nil
+	case "periodic":
+		if a.gap <= 0 {
+			return nil, fmt.Errorf("repro: periodic interval must be positive, got %v", a.gap)
+		}
+		return traffic.NewPeriodic(a.gap), nil
+	case "saturated":
+		return traffic.NewSaturated(), nil
+	case "pareto":
+		if a.alpha <= 1 || a.gap <= 0 || a.burst < 1 {
+			return nil, fmt.Errorf("repro: bad Pareto parameters (alpha=%v, gap=%v, burst=%v)",
+				a.alpha, a.gap, a.burst)
+		}
+		return traffic.NewParetoBursts(a.alpha, a.gap, a.burst), nil
+	default:
+		return nil, fmt.Errorf("repro: empty arrival spec")
+	}
+}
+
+// TrafficResult reports a continuous-traffic run.
+type TrafficResult struct {
+	N                  int
+	Horizon            time.Duration
+	Offered, Delivered int
+	Backlog            int
+	ThroughputMbps     float64
+	LatencyP50         time.Duration
+	LatencyP95         time.Duration
+	LatencyMax         time.Duration
+	Collisions         int
+	JainFairness       float64
+}
+
+// RunContinuousTraffic simulates n stations for the given horizon under the
+// arrival process. Note: the paper's Table I CWmin = 1 causes channel
+// capture under saturation; pass WithConfig to raise CWMin (16 is the
+// 802.11 standard) for steady-state studies.
+func RunContinuousTraffic(n int, algorithm string, arrivals ArrivalSpec,
+	horizon time.Duration, opts ...Option) (TrafficResult, error) {
+	if n < 1 {
+		return TrafficResult{}, fmt.Errorf("repro: n must be >= 1, got %d", n)
+	}
+	if horizon <= 0 {
+		return TrafficResult{}, fmt.Errorf("repro: horizon must be positive, got %v", horizon)
+	}
+	f, err := factoryFor(algorithm)
+	if err != nil {
+		return TrafficResult{}, err
+	}
+	proc, err := arrivals.process()
+	if err != nil {
+		return TrafficResult{}, err
+	}
+	o := buildOptions(opts)
+	cfg := mac.DefaultConfig()
+	cfg.PayloadBytes = o.payload
+	cfg.RTSCTS = o.rtscts
+	for _, tweak := range o.cfgTweaks {
+		tweak(&cfg)
+	}
+	g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("traffic|%s|%s|n=%d", algorithm, proc.Name(), n)))
+	var tracer mac.Tracer
+	if o.tracer != nil {
+		tracer = o.tracer
+	}
+	res := mac.RunContinuous(cfg, n, f, proc, horizon, g, tracer)
+	return TrafficResult{
+		N:              n,
+		Horizon:        horizon,
+		Offered:        res.Offered,
+		Delivered:      res.Delivered,
+		Backlog:        res.Backlog,
+		ThroughputMbps: res.ThroughputMbps,
+		LatencyP50:     res.LatencyP50,
+		LatencyP95:     res.LatencyP95,
+		LatencyMax:     res.LatencyMax,
+		Collisions:     res.Collisions,
+		JainFairness:   res.JainFairness,
+	}, nil
+}
+
+// PredictSaturatedThroughput returns Bianchi's analytical saturated
+// throughput (Mbit/s of payload) for BEB with the given CWmin under the
+// default 802.11g parameters and payload.
+func PredictSaturatedThroughput(n, cwMin, payloadBytes int) (float64, error) {
+	cfg := mac.DefaultConfig()
+	cfg.CWMin = cwMin
+	cfg.PayloadBytes = payloadBytes
+	th, err := saturation.Predict(cfg, n)
+	if err != nil {
+		return 0, err
+	}
+	return th.Mbps, nil
+}
+
+// RunTreeBatch resolves a single batch with the classic binary
+// tree-splitting algorithm (Capetanakis) under the abstract model — the
+// non-backoff baseline of the contention-resolution literature.
+func RunTreeBatch(n int, opts ...Option) (BatchResult, error) {
+	if n < 1 {
+		return BatchResult{}, fmt.Errorf("repro: n must be >= 1, got %d", n)
+	}
+	o := buildOptions(opts)
+	g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("tree|n=%d", n)))
+	res := slotted.RunTreeBatch(n, g)
+	return BatchResult{
+		N:             n,
+		Model:         "abstract",
+		Algorithm:     "TREE",
+		CWSlots:       res.CWSlots,
+		Collisions:    res.Collisions,
+		CWSlotsAtHalf: res.HalfSlots,
+	}, nil
+}

@@ -1,0 +1,114 @@
+package repro
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunContinuousTrafficPoisson(t *testing.T) {
+	res, err := RunContinuousTraffic(8, BEB, Poisson(200), 100*time.Millisecond, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 || res.Delivered == 0 {
+		t.Fatalf("no traffic flowed: %+v", res)
+	}
+	if res.Backlog != res.Offered-res.Delivered {
+		t.Fatalf("backlog inconsistent: %+v", res)
+	}
+	if res.ThroughputMbps <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestRunContinuousTrafficSaturatedWithCWMin16(t *testing.T) {
+	res, err := RunContinuousTraffic(8, BEB, Saturated(), 100*time.Millisecond,
+		WithSeed(2), WithConfig(func(c *MACConfig) { c.CWMin = 16 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JainFairness < 0.5 {
+		t.Fatalf("fairness %v too low with CWmin=16", res.JainFairness)
+	}
+	if res.Backlog == 0 {
+		t.Fatal("saturation should leave a backlog")
+	}
+}
+
+func TestRunContinuousTrafficBursty(t *testing.T) {
+	res, err := RunContinuousTraffic(10, LLB,
+		BurstyPareto(1.5, 5*time.Millisecond, 6), 150*time.Millisecond, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("bursty run delivered nothing")
+	}
+	if !(res.LatencyP50 <= res.LatencyP95 && res.LatencyP95 <= res.LatencyMax) {
+		t.Fatalf("latency quantiles out of order: %+v", res)
+	}
+}
+
+func TestRunContinuousTrafficValidation(t *testing.T) {
+	if _, err := RunContinuousTraffic(0, BEB, Saturated(), time.Millisecond); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := RunContinuousTraffic(5, BEB, Saturated(), 0); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if _, err := RunContinuousTraffic(5, "WAT", Saturated(), time.Millisecond); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := RunContinuousTraffic(5, BEB, Poisson(-1), time.Millisecond); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := RunContinuousTraffic(5, BEB, Periodic(0), time.Millisecond); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := RunContinuousTraffic(5, BEB, BurstyPareto(0.5, 0, 0), time.Millisecond); err == nil {
+		t.Fatal("bad pareto accepted")
+	}
+	if _, err := RunContinuousTraffic(5, BEB, ArrivalSpec{}, time.Millisecond); err == nil {
+		t.Fatal("empty arrival spec accepted")
+	}
+}
+
+func TestPredictSaturatedThroughput(t *testing.T) {
+	th, err := PredictSaturatedThroughput(10, 16, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th <= 0 || th > 54 {
+		t.Fatalf("Bianchi throughput %v Mbps out of range", th)
+	}
+	small, _ := PredictSaturatedThroughput(10, 16, 64)
+	if small >= th {
+		t.Fatalf("64B throughput %v not below 1024B %v", small, th)
+	}
+}
+
+func TestRunTreeBatchAPI(t *testing.T) {
+	res, err := RunTreeBatch(100, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "TREE" || res.CWSlots < 100 {
+		t.Fatalf("tree result: %+v", res)
+	}
+	if _, err := RunTreeBatch(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestContinuousTrafficDeterministic(t *testing.T) {
+	run := func() TrafficResult {
+		r, err := RunContinuousTraffic(6, STB, Poisson(300), 80*time.Millisecond, WithSeed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same options diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,69 @@
+// Burst: the paper's motivating scenario in full. A single burst of n
+// stations contends for the channel under each algorithm; the example
+// reports every metric the paper plots (CW slots, total time, time to n/2,
+// collisions, worst-case ACK timeouts) over several trials, and closes with
+// the Section III-B cost decomposition that explains the reversal.
+//
+//	go run ./examples/burst [-n 150]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	n := flag.Int("n", 150, "burst size")
+	trials := flag.Int("trials", 7, "trials per algorithm")
+	payload := flag.Int("payload", 64, "payload bytes")
+	flag.Parse()
+
+	fmt.Printf("Burst of %d stations, %dB payload, median of %d trials\n\n", *n, *payload, *trials)
+	fmt.Printf("%-5s %10s %12s %12s %11s %8s\n",
+		"algo", "CW slots", "total (µs)", "half (µs)", "collisions", "max TO")
+
+	type agg struct {
+		slots, total, half, coll, to []float64
+	}
+	baselines := map[string]float64{}
+	for _, algo := range repro.Algorithms() {
+		var a agg
+		for tr := 0; tr < *trials; tr++ {
+			res, err := repro.RunWiFiBatch(*n, algo,
+				repro.WithSeed(uint64(tr)), repro.WithPayload(*payload))
+			if err != nil {
+				log.Fatal(err)
+			}
+			a.slots = append(a.slots, float64(res.CWSlots))
+			a.total = append(a.total, float64(res.TotalTime)/float64(time.Microsecond))
+			a.half = append(a.half, float64(res.HalfTime)/float64(time.Microsecond))
+			a.coll = append(a.coll, float64(res.Collisions))
+			a.to = append(a.to, float64(res.MaxAckTimeouts))
+		}
+		fmt.Printf("%-5s %10.0f %12.0f %12.0f %11.0f %8.0f\n", algo,
+			med(a.slots), med(a.total), med(a.half), med(a.coll), med(a.to))
+		baselines[algo] = med(a.total)
+	}
+
+	fmt.Println("\nTotal time vs BEB:")
+	for _, algo := range []string{"LLB", "LB", "STB"} {
+		fmt.Printf("  %-4s %+6.1f%%\n", algo, 100*(baselines[algo]-baselines["BEB"])/baselines["BEB"])
+	}
+
+	res, err := repro.RunWiFiBatch(*n, "BEB", repro.WithSeed(1), repro.WithPayload(*payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWhere BEB's time goes (Section III-B, one representative run):\n  %v\n", res.Decomposition)
+}
+
+func med(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

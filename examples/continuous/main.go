@@ -1,0 +1,58 @@
+// Continuous: take the paper's question beyond the single batch. The
+// concluding remarks ask how the collision/CW-slot tradeoff behaves under
+// long-lived bursty traffic; this example runs the four algorithms under
+// three arrival regimes — light Poisson, heavy-tailed bursts, and full
+// saturation — and reports throughput, delay and fairness, with Bianchi's
+// analytical prediction alongside the saturated BEB row.
+//
+//	go run ./examples/continuous
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	const (
+		n       = 20
+		horizon = 200 * time.Millisecond
+	)
+	// CWmin 16 (standard DCF): the paper's single-batch CWmin=1 lets one
+	// station capture the channel under sustained load.
+	std := repro.WithConfig(func(c *repro.MACConfig) { c.CWMin = 16 })
+
+	regimes := []struct {
+		name     string
+		arrivals repro.ArrivalSpec
+	}{
+		{"poisson 100/s", repro.Poisson(100)},
+		{"pareto bursts", repro.BurstyPareto(1.5, 10*time.Millisecond, 8)},
+		{"saturated", repro.Saturated()},
+	}
+
+	for _, reg := range regimes {
+		fmt.Printf("%s, n=%d, horizon %v:\n", reg.name, n, horizon)
+		fmt.Printf("  %-5s %10s %12s %12s %10s %9s\n",
+			"algo", "delivered", "tput (Mbps)", "p95 delay", "collisions", "fairness")
+		for _, algo := range repro.Algorithms() {
+			res, err := repro.RunContinuousTraffic(n, algo, reg.arrivals, horizon,
+				repro.WithSeed(11), std)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-5s %10d %12.2f %12v %10d %9.2f\n",
+				algo, res.Delivered, res.ThroughputMbps,
+				res.LatencyP95.Round(time.Microsecond), res.Collisions, res.JainFairness)
+		}
+		fmt.Println()
+	}
+
+	if th, err := repro.PredictSaturatedThroughput(n, 16, 64); err == nil {
+		fmt.Printf("Bianchi's model predicts %.2f Mbps for saturated BEB at n=%d —\n", th, n)
+		fmt.Println("compare with the saturated BEB row above.")
+	}
+}

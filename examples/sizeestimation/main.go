@@ -1,0 +1,64 @@
+// Sizeestimation: the paper's Section VI alternative. BEST-OF-k stations
+// first estimate the batch size by probing the channel with cheap unacked
+// dummies, then run fixed backoff with the (over-)estimate as their window —
+// trading a fixed, collision-free estimation phase for the collision storm
+// that windowed backoff pays.
+//
+//	go run ./examples/sizeestimation [-n 150]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	n := flag.Int("n", 150, "burst size")
+	trials := flag.Int("trials", 7, "trials per configuration")
+	flag.Parse()
+
+	fmt.Printf("BEST-OF-k vs BEB on a burst of %d stations (median of %d trials)\n\n", *n, *trials)
+	fmt.Printf("%-10s %14s %14s %12s %12s\n", "algo", "estimate of n", "est. phase", "collisions", "total (µs)")
+
+	for _, k := range []int{3, 5} {
+		var ests, colls, totals []float64
+		var phase time.Duration
+		for tr := 0; tr < *trials; tr++ {
+			res, err := repro.RunBestOfK(*n, k, repro.WithSeed(uint64(tr)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			ests = append(ests, float64(res.MedianEstimate))
+			colls = append(colls, float64(res.Collisions))
+			totals = append(totals, float64(res.TotalTime)/float64(time.Microsecond))
+			phase = res.EstimationTime
+		}
+		fmt.Printf("best-of-%d %14.0f %14v %12.0f %12.0f\n", k, med(ests), phase, med(colls), med(totals))
+	}
+
+	var colls, totals []float64
+	for tr := 0; tr < *trials; tr++ {
+		res, err := repro.RunWiFiBatch(*n, "BEB", repro.WithSeed(uint64(tr)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		colls = append(colls, float64(res.Collisions))
+		totals = append(totals, float64(res.TotalTime)/float64(time.Microsecond))
+	}
+	fmt.Printf("%-10s %14s %14s %12.0f %12.0f\n", "BEB", "-", "-", med(colls), med(totals))
+
+	fmt.Println("\nThe estimates only ever overestimate (w.h.p. Ω(n/log n), and in practice")
+	fmt.Println("~2n), so the fixed window is wide enough to avoid most collisions; the")
+	fmt.Println("estimation phase costs a fixed ~1ms that the avoided collisions repay.")
+}
+
+func med(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -1,0 +1,67 @@
+// Tradeoff: explore the paper's cost model T_A = C_A·(P+ρ) + W_A·s as the
+// packet size grows (Figure 14 territory). For each payload the example runs
+// LLB and BEB on the same seeds and prints the measured total-time gap next
+// to the gap the cost model predicts from measured collisions and CW slots —
+// showing that collision count times packet duration, not CW slots, is what
+// separates the algorithms.
+//
+//	go run ./examples/tradeoff [-n 150]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/mac"
+)
+
+func main() {
+	n := flag.Int("n", 150, "burst size")
+	trials := flag.Int("trials", 5, "trials per payload")
+	flag.Parse()
+
+	fmt.Printf("LLB vs BEB at n=%d as packets grow (medians over %d trials)\n\n", *n, *trials)
+	fmt.Printf("%8s %16s %16s %18s\n", "payload", "measured gap(µs)", "model gap(µs)", "collision gap")
+
+	for payload := 100; payload <= 1000; payload += 150 {
+		var gaps, modelGaps, collGaps []float64
+		for tr := 0; tr < *trials; tr++ {
+			llb, err := repro.RunWiFiBatch(*n, "LLB",
+				repro.WithSeed(uint64(tr)), repro.WithPayload(payload))
+			if err != nil {
+				log.Fatal(err)
+			}
+			beb, err := repro.RunWiFiBatch(*n, "BEB",
+				repro.WithSeed(uint64(tr)), repro.WithPayload(payload))
+			if err != nil {
+				log.Fatal(err)
+			}
+			gaps = append(gaps, us(llb.TotalTime-beb.TotalTime))
+
+			cfg := mac.DefaultConfig()
+			cfg.PayloadBytes = payload
+			model := core.ModelFromConfig(cfg)
+			predicted := model.TotalTime(llb.Collisions, llb.CWSlots) -
+				model.TotalTime(beb.Collisions, beb.CWSlots)
+			modelGaps = append(modelGaps, us(predicted))
+			collGaps = append(collGaps, float64(llb.Collisions-beb.Collisions))
+		}
+		fmt.Printf("%7dB %16.0f %16.0f %18.0f\n", payload, med(gaps), med(modelGaps), med(collGaps))
+	}
+
+	fmt.Println("\nThe model gap tracks the measured gap and both grow with payload: the")
+	fmt.Println("extra collisions LLB suffers each cost one more (now longer) frame.")
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func med(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -1,0 +1,119 @@
+// Package estimate implements the size-estimation approach of the paper's
+// Section VI under the abstract slotted model, mirroring the MAC-level
+// implementation in mac.RunBestOfK. It exists so the estimation behaviour
+// (overestimation guarantee, Ω(n/log n) lower bound on the estimate) can be
+// studied without PHY effects, and so the slotted model can run a
+// collision-free fixed-backoff phase for comparison.
+package estimate
+
+import (
+	"repro/internal/backoff"
+	"repro/internal/rng"
+	"repro/internal/slotted"
+)
+
+// SlottedConfig parameterizes abstract-model BEST-OF-k.
+type SlottedConfig struct {
+	K      int // probing rounds per level
+	Levels int // number of levels (the paper uses 11: i = 0..10)
+}
+
+// DefaultSlotted returns the paper's parameters for the given k.
+func DefaultSlotted(k int) SlottedConfig { return SlottedConfig{K: k, Levels: 11} }
+
+// SlottedResult reports an abstract-model BEST-OF-k run.
+type SlottedResult struct {
+	// Estimates is each station's adopted fixed window W.
+	Estimates []int
+	// ProbeSlots is the (fixed) number of slots spent probing.
+	ProbeSlots int
+	// Contention is the fixed-backoff phase outcome. Stations with
+	// different estimates are grouped by the median estimate for the batch
+	// run, matching how the paper reports a single per-trial estimate.
+	Contention slotted.Result
+}
+
+// Estimate runs only the probing phase under the abstract model and returns
+// each station's adopted window.
+func Estimate(cfg SlottedConfig, n int, g *rng.Source) ([]int, int) {
+	if n < 1 {
+		panic("estimate: need n >= 1")
+	}
+	if cfg.K < 1 || cfg.Levels < 1 {
+		panic("estimate: need K >= 1 and Levels >= 1")
+	}
+	type probe struct {
+		done  bool
+		w     int
+		clear int
+	}
+	probes := make([]probe, n)
+	slots := 0
+	for level := 0; level < cfg.Levels; level++ {
+		p := 1 / float64(int(1)<<level)
+		for r := 0; r < cfg.K; r++ {
+			slots++
+			sent := make([]bool, n)
+			sentCount := 0
+			for i := range probes {
+				if probes[i].done {
+					continue
+				}
+				if g.Bernoulli(p) {
+					sent[i] = true
+					sentCount++
+				}
+			}
+			for i := range probes {
+				if probes[i].done {
+					continue
+				}
+				if !sent[i] && sentCount == 0 {
+					probes[i].clear++
+				}
+			}
+		}
+		for i := range probes {
+			if probes[i].done {
+				continue
+			}
+			if 2*probes[i].clear > cfg.K {
+				probes[i].done = true
+				probes[i].w = 1 << level
+			}
+			probes[i].clear = 0
+		}
+	}
+	out := make([]int, n)
+	for i := range probes {
+		if probes[i].done {
+			out[i] = probes[i].w
+		} else {
+			out[i] = 1 << (cfg.Levels - 1)
+		}
+	}
+	return out, slots
+}
+
+// Run performs the full abstract-model BEST-OF-k: probing, then fixed
+// backoff with the batch's median estimate as the shared window.
+func Run(cfg SlottedConfig, n int, g *rng.Source) SlottedResult {
+	ests, slots := Estimate(cfg, n, g)
+	w := medianInt(ests)
+	res := slotted.RunBatch(n, func() backoff.Policy { return backoff.NewFixed(w) }, g.Derive("fixed-phase"))
+	return SlottedResult{Estimates: ests, ProbeSlots: slots, Contention: res}
+}
+
+func medianInt(xs []int) int {
+	s := append([]int(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+// MedianEstimate returns the median of a run's per-station estimates, the
+// quantity Figure 18 plots.
+func MedianEstimate(ests []int) int { return medianInt(ests) }

@@ -1,0 +1,183 @@
+// Package event provides a minimal discrete-event simulation kernel: a
+// monotonic virtual clock with nanosecond resolution and a cancellable
+// binary-heap scheduler with stable FIFO ordering among simultaneous events.
+//
+// The MAC simulator is built on this kernel. Times are expressed as
+// time.Duration offsets from the start of the simulation so that frame
+// durations computed by the PHY plug in directly.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is simulated time since the start of the run.
+type Time = time.Duration
+
+// Handler is a callback invoked when an event fires. now is the event's
+// scheduled time (which equals the simulator clock at invocation).
+type Handler func(now Time)
+
+// Event is a scheduled callback. It is owned by the Scheduler; callers keep
+// a reference only to cancel it.
+type Event struct {
+	at      Time
+	seq     uint64
+	index   int // heap index, -1 once removed
+	fn      Handler
+	cancel  bool
+	comment string
+}
+
+// Time returns the time the event is scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Scheduler is a discrete-event scheduler. The zero value is ready to use.
+// It is not safe for concurrent use; a simulation is single-goroutine by
+// design (parallelism belongs at the trial level, not inside one run).
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	maxLen int
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far (cancelled events are
+// not counted).
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events not yet drained).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Schedule schedules fn to run delay after the current time. A negative
+// delay panics: the kernel refuses to travel backwards.
+func (s *Scheduler) Schedule(delay time.Duration, fn Handler) *Event {
+	return s.ScheduleNamed("", delay, fn)
+}
+
+// ScheduleNamed is Schedule with a debugging comment attached to the event.
+func (s *Scheduler) ScheduleNamed(comment string, delay time.Duration, fn Handler) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("event: negative delay %v at t=%v (%s)", delay, s.now, comment))
+	}
+	if fn == nil {
+		panic("event: nil handler")
+	}
+	e := &Event{at: s.now + delay, seq: s.seq, fn: fn, comment: comment}
+	s.seq++
+	heap.Push(&s.queue, e)
+	if len(s.queue) > s.maxLen {
+		s.maxLen = len(s.queue)
+	}
+	return e
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired, or cancelling twice, is a harmless no-op. Cancel of nil is
+// also a no-op so callers can cancel optional timers unconditionally.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	e.cancel = true
+}
+
+// Step fires the single earliest pending event. It reports whether an event
+// was fired (false when the queue is empty).
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		if e.at < s.now {
+			panic(fmt.Sprintf("event: time went backwards: %v < %v", e.at, s.now))
+		}
+		s.now = e.at
+		s.fired++
+		e.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or limit events have fired.
+// A limit of 0 means no limit. It returns the number of events fired by this
+// call and whether the queue drained (as opposed to hitting the limit).
+func (s *Scheduler) Run(limit uint64) (fired uint64, drained bool) {
+	for {
+		if limit > 0 && fired >= limit {
+			return fired, false
+		}
+		if !s.Step() {
+			return fired, true
+		}
+		fired++
+	}
+}
+
+// RunUntil executes events with time <= deadline. Events scheduled beyond
+// the deadline remain queued; the clock advances to at most the deadline.
+func (s *Scheduler) RunUntil(deadline Time) (fired uint64) {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if e.cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if e.at > deadline {
+			break
+		}
+		s.Step()
+		fired++
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return fired
+}
+
+// MaxQueueLen returns the high-water mark of the event queue, useful for
+// performance diagnostics.
+func (s *Scheduler) MaxQueueLen() int { return s.maxLen }
+
+// eventHeap orders events by (time, insertion sequence): a stable min-heap.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

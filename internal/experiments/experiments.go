@@ -1,0 +1,158 @@
+// Package experiments defines one regenerator per figure and table of the
+// paper's evaluation. Each produces a harness.Table whose series mirror the
+// paper's plotted lines; cmd/figures prints and saves them, the root
+// bench_test.go wraps them in benchmarks, and the integration tests assert
+// the paper's qualitative results on quick configurations.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/backoff"
+	"repro/internal/harness"
+	"repro/internal/mac"
+	"repro/internal/rng"
+)
+
+// Config tunes experiment fidelity. Zero values select each experiment's
+// paper-faithful default; tests and benches use Quick.
+type Config struct {
+	// Trials per point (0 = the figure's paper default).
+	Trials int
+	// NMax caps the swept batch size (0 = figure default).
+	NMax int
+	// NStep is the sweep step (0 = figure default).
+	NStep int
+	// Seed drives all randomness; the default 0 is a valid seed.
+	Seed uint64
+	// Workers caps parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Quick returns a configuration small enough for unit tests and benchmarks
+// while preserving every figure's qualitative shape.
+func Quick() Config {
+	return Config{Trials: 7, NMax: 60, NStep: 25, Seed: 1}
+}
+
+func (c Config) trials(def int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	return def
+}
+
+func (c Config) nAxis(defMax, defStep int) []float64 {
+	max, step := defMax, defStep
+	if c.NMax > 0 {
+		max = c.NMax
+	}
+	if c.NStep > 0 {
+		step = c.NStep
+	}
+	lo := step
+	if lo > max {
+		lo = max
+	}
+	return harness.IntXs(lo, max, step)
+}
+
+func (c Config) spec(xs []float64, trials int) harness.SweepSpec {
+	return harness.SweepSpec{Xs: xs, Trials: trials, Seed: c.Seed, Workers: c.Workers}
+}
+
+// Generator regenerates one experiment.
+type Generator struct {
+	ID    string
+	Title string
+	Run   func(Config) harness.Table
+}
+
+// All returns every table-shaped experiment in paper order. Figure 13 (the
+// execution trace) and Figure 17 (pseudocode — implemented as mac.RunBestOfK)
+// are not tables; see Figure13.
+func All() []Generator {
+	return []Generator{
+		{"fig3", "CW slots vs n, 64B payload (MAC)", Figure3},
+		{"fig4", "CW slots vs n, 1024B payload (MAC)", Figure4},
+		{"fig5", "CW slots vs n (abstract model)", Figure5},
+		{"fig6", "CW slots to finish n/2, 64B (MAC)", Figure6},
+		{"fig7", "Total time vs n, 64B (MAC)", Figure7},
+		{"fig8", "Total time vs n, 1024B (MAC)", Figure8},
+		{"fig9", "Time to finish n/2, 64B (MAC)", Figure9},
+		{"fig10", "Time to finish n/2, 1024B (MAC)", Figure10},
+		{"fig11", "Max ACK timeouts per station, 64B (MAC)", Figure11},
+		{"fig12", "Max time waiting on ACK timeouts, 64B (MAC)", Figure12},
+		{"fig14", "LLB - BEB total time vs payload size, n=150", Figure14},
+		{"fig15", "CW slots at large n (abstract model)", Figure15},
+		{"fig16", "Collision ratios vs STB (abstract model)", Figure16},
+		{"fig18", "BEST-OF-k size estimates vs true n", Figure18},
+		{"fig19", "Total time: BEST-OF-k vs BEB, 64B (MAC)", Figure19},
+		{"tab3", "Empirical collision counts (Table III shapes)", TableIII},
+		{"decomp", "Section III-B total-time decomposition, BEB", DecompositionTable},
+		{"rts", "Section III-B RTS/CTS comparison, n=150", RTSCTSTable},
+		{"minpkt", "Section V-B minimum-packet experiment", MinPacketTable},
+	}
+}
+
+// Extras returns the ablation experiments: studies of this reproduction's
+// own design decisions (DESIGN.md), not paper artifacts.
+func Extras() []Generator {
+	return []Generator{
+		{"ablation-capture", "Collisions: paper grid vs near/far capture layout", AblationCapture},
+		{"ablation-align", "Collisions: aligned vs per-station windows", AblationAlignment},
+		{"ablation-ackto", "Aggregate ACK-timeout wait vs timeout value", AblationAckTimeout},
+		{"instant", "Section V-B: shrinking the cost of collision detection", InstantDetectTable},
+		{"tput", "Saturated throughput vs n (continuous traffic, CWmin=16)", SaturatedThroughputTable},
+	}
+}
+
+// ByID returns the generator with the given ID, searching paper artifacts
+// first, then ablations.
+func ByID(id string) (Generator, bool) {
+	for _, g := range All() {
+		if g.ID == id {
+			return g, true
+		}
+	}
+	for _, g := range Extras() {
+		if g.ID == id {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}
+
+// macTrial builds a TrialFunc measuring one metric of a MAC batch run.
+func macTrial(cfg mac.Config, f backoff.Factory, metric func(mac.Result) float64) harness.TrialFunc {
+	return func(x float64, g *rng.Source) float64 {
+		return metric(mac.RunBatch(cfg, int(x), f, g, nil))
+	}
+}
+
+// macSweepTable runs the standard four-algorithm MAC sweep.
+func macSweepTable(c Config, id, title, ylabel string, cfg mac.Config, defTrials int,
+	metric func(mac.Result) float64) harness.Table {
+	xs := c.nAxis(150, 10)
+	fns := map[string]harness.TrialFunc{}
+	for _, f := range backoff.PaperAlgorithms() {
+		fns[f().Name()] = macTrial(cfg, f, metric)
+	}
+	t := harness.Table{ID: id, Title: title, XLabel: "n", YLabel: ylabel}
+	t.Series = harness.SweepAll(c.spec(xs, c.trials(defTrials)), fns, backoff.PaperAlgorithmNames())
+	addBaselineNotes(&t)
+	return t
+}
+
+// addBaselineNotes appends the paper's headline percentages (vs BEB at the
+// largest n) to the table notes.
+func addBaselineNotes(t *harness.Table) {
+	for _, s := range t.Series {
+		if s.Name == "BEB" {
+			continue
+		}
+		if pct, err := t.PercentVsBaseline(s.Name, "BEB"); err == nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s vs BEB at largest n: %+.1f%%", s.Name, pct))
+		}
+	}
+}

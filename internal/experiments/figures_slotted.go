@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/backoff"
+	"repro/internal/harness"
+	"repro/internal/rng"
+	"repro/internal/slotted"
+)
+
+// slottedTrial measures one metric of an abstract-model batch run.
+func slottedTrial(f backoff.Factory, metric func(slotted.Result) float64) harness.TrialFunc {
+	return func(x float64, g *rng.Source) float64 {
+		return metric(slotted.RunBatch(int(x), f, g))
+	}
+}
+
+// Figure5 regenerates Figure 5: CW slots vs n under the pure abstract model
+// (the paper's "simple Java simulation"), 50 trials.
+func Figure5(c Config) harness.Table {
+	xs := c.nAxis(150, 10)
+	fns := map[string]harness.TrialFunc{}
+	for _, f := range backoff.PaperAlgorithms() {
+		fns[f().Name()] = slottedTrial(f, func(r slotted.Result) float64 { return float64(r.CWSlots) })
+	}
+	t := harness.Table{ID: "fig5", Title: "CW slots (abstract model)", XLabel: "n", YLabel: "CW slots"}
+	t.Series = harness.SweepAll(c.spec(xs, c.trials(50)), fns, backoff.PaperAlgorithmNames())
+	addBaselineNotes(&t)
+	return t
+}
+
+// Figure15 regenerates Figure 15: CW slots for large n under the abstract
+// model, where the asymptotic ordering (STB best, then LLB, LB, BEB)
+// finally separates. The paper sweeps to n = 1e5 with 200 trials; the
+// default here uses coarser steps and fewer trials — pass Config{Trials,
+// NMax, NStep} for full fidelity.
+func Figure15(c Config) harness.Table {
+	if c.NMax == 0 {
+		c.NMax = 100_000
+	}
+	if c.NStep == 0 {
+		c.NStep = 20_000
+	}
+	xs := c.nAxis(c.NMax, c.NStep)
+	fns := map[string]harness.TrialFunc{}
+	for _, f := range backoff.PaperAlgorithms() {
+		fns[f().Name()] = slottedTrial(f, func(r slotted.Result) float64 { return float64(r.CWSlots) })
+	}
+	t := harness.Table{ID: "fig15", Title: "CW slots at large n (abstract model)", XLabel: "n", YLabel: "CW slots"}
+	t.Series = harness.SweepAll(c.spec(xs, c.trials(15)), fns, backoff.PaperAlgorithmNames())
+	// The oddity of Section V-A(i): at small n LB beats LLB, at large n the
+	// asymptotics win. Record which regime the sweep ended in.
+	lb, llb := t.SeriesByName("LB"), t.SeriesByName("LLB")
+	if lb != nil && llb != nil && len(lb.Points) > 0 {
+		last := len(lb.Points) - 1
+		rel := "below"
+		if llb.Points[last].Median > lb.Points[last].Median {
+			rel = "above"
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("at n=%.0f, LLB CW slots are %s LB (paper: LLB wins for large n)",
+			lb.Points[last].X, rel))
+	}
+	return t
+}
+
+// Figure16 regenerates Figure 16: the ratio of median collision counts
+// LB/STB, LLB/STB and BEB/STB as n grows. BEB/STB stays flat (both Θ(n));
+// LB/STB grows quickly; LLB/STB crosses 1 only around n ≈ 3×10^4.
+func Figure16(c Config) harness.Table {
+	if c.NMax == 0 {
+		c.NMax = 100_000
+	}
+	if c.NStep == 0 {
+		c.NStep = 20_000
+	}
+	xs := c.nAxis(c.NMax, c.NStep)
+	trials := c.trials(15)
+
+	med := map[string]harness.Series{}
+	for _, f := range backoff.PaperAlgorithms() {
+		name := f().Name()
+		spec := c.spec(xs, trials)
+		spec.Name = name
+		med[name] = harness.Sweep(spec, slottedTrial(f,
+			func(r slotted.Result) float64 { return float64(r.Collisions) }))
+	}
+	t := harness.Table{ID: "fig16", Title: "Collision ratio vs STB (abstract model)",
+		XLabel: "n", YLabel: "ratio of collisions"}
+	for _, name := range []string{"LB", "LLB", "BEB"} {
+		s := harness.Series{Name: name + "/STB"}
+		for i, p := range med[name].Points {
+			stb := med["STB"].Points[i]
+			ratio := p.Median / stb.Median
+			s.Points = append(s.Points, harness.Point{X: p.X, Median: ratio, Lo: ratio, Hi: ratio, Trials: p.Trials})
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t
+}
+
+// TableIII reports median disjoint-collision counts per algorithm alongside
+// collisions/n, the empirical check of the Section IV bounds (BEB and STB
+// linear; LB, LLB super-linear).
+func TableIII(c Config) harness.Table {
+	if c.NMax == 0 {
+		c.NMax = 32_768
+	}
+	xs := []float64{}
+	for n := 512; n <= c.NMax; n *= 4 {
+		xs = append(xs, float64(n))
+	}
+	fns := map[string]harness.TrialFunc{}
+	for _, f := range backoff.PaperAlgorithms() {
+		fns[f().Name()] = slottedTrial(f, func(r slotted.Result) float64 { return float64(r.Collisions) })
+	}
+	t := harness.Table{ID: "tab3", Title: "Disjoint collisions (Table III empirical)",
+		XLabel: "n", YLabel: "collisions"}
+	t.Series = harness.SweepAll(c.spec(xs, c.trials(9)), fns, backoff.PaperAlgorithmNames())
+	for _, s := range t.Series {
+		if len(s.Points) < 2 {
+			continue
+		}
+		first := s.Points[0].Median / s.Points[0].X
+		last := s.Points[len(s.Points)-1].Median / s.Points[len(s.Points)-1].X
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("%s collisions/n: %.2f at n=%.0f -> %.2f at n=%.0f", s.Name,
+				first, s.Points[0].X, last, s.Points[len(s.Points)-1].X))
+	}
+	return t
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/backoff"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mac"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Figure13 regenerates Figure 13: a single BEB run with 20 stations,
+// rendered as a timeline (transmissions as thick marks, ACK timeouts as
+// thin marks). It returns the rendered timeline and the raw recorder.
+func Figure13(c Config) (string, *trace.Recorder) {
+	rec := &trace.Recorder{}
+	n := 20
+	if c.NMax > 0 && c.NMax < n {
+		n = c.NMax
+	}
+	g := rng.New(rng.DeriveSeed(c.Seed, "fig13"))
+	mac.RunBatch(mac.DefaultConfig(), n, backoff.NewBEB, g, rec)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 13 — execution of BEB with %d stations (█ tx, x ACK timeout, * success)\n", n)
+	if err := rec.Render(&sb, trace.RenderOptions{Width: 110, ShowAP: true}); err != nil {
+		panic(err) // strings.Builder cannot fail; a failure is a bug
+	}
+	return sb.String(), rec
+}
+
+// Figure14 regenerates Figure 14: the per-trial difference in total time
+// between LLB and BEB at n = 150 as the payload grows from 100 to 1000
+// bytes, with the paper's linear-regression significance test on the trend.
+func Figure14(c Config) harness.Table {
+	n := 150
+	if c.NMax > 0 {
+		n = c.NMax
+	}
+	payloads := harness.IntXs(100, 1000, 100)
+	if c.NStep > 0 {
+		payloads = harness.IntXs(c.NStep, 1000, c.NStep)
+	}
+	trials := c.trials(30)
+
+	diff := func(x float64, g *rng.Source) float64 {
+		cfg := mac.DefaultConfig()
+		cfg.PayloadBytes = int(x)
+		llb := mac.RunBatch(cfg, n, backoff.NewLLB, g.Derive("llb"), nil)
+		beb := mac.RunBatch(cfg, n, backoff.NewBEB, g.Derive("beb"), nil)
+		return us(llb.TotalTime) - us(beb.TotalTime)
+	}
+	spec := c.spec(payloads, trials)
+	spec.Name = "LLB-BEB"
+	spec.KeepOutliers = true // the paper fits raw per-trial scatter
+	series, raw := harness.SweepRaw(spec, diff)
+
+	t := harness.Table{ID: "fig14", Title: fmt.Sprintf("LLB - BEB total time (µs) vs payload, n=%d", n),
+		XLabel: "payload (bytes)", YLabel: "LLB-BEB (µs)", Series: []harness.Series{series}}
+
+	// Regression over the full per-trial scatter, exactly as the paper fits
+	// Figure 14 (one point per trial per payload).
+	var xs, ys []float64
+	for xi, vals := range raw {
+		for _, v := range vals {
+			xs = append(xs, payloads[xi])
+			ys = append(ys, v)
+		}
+	}
+	if reg, err := stats.LinearFit(xs, ys); err == nil {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"OLS over %d per-trial points: +100B payload -> %+.0f µs extra LLB-BEB gap (slope %.2f µs/B, p=%.2g, R²=%.2f)",
+			reg.N, 100*reg.Slope, reg.Slope, reg.PValue, reg.R2))
+	}
+	return t
+}
+
+// Figure18 regenerates Figure 18: the median BEST-OF-k estimate of n vs the
+// true n for k = 3 and k = 5, plus the true-size line.
+func Figure18(c Config) harness.Table {
+	xs := c.nAxis(150, 10)
+	trials := c.trials(20)
+	cfg := mac.DefaultConfig()
+
+	est := func(k int) harness.TrialFunc {
+		return func(x float64, g *rng.Source) float64 {
+			res := mac.RunBestOfK(cfg, mac.DefaultBestOfK(k), int(x), g, nil)
+			return float64(medianInt(res.Estimates))
+		}
+	}
+	t := harness.Table{ID: "fig18", Title: "BEST-OF-k size estimates", XLabel: "n", YLabel: "estimate of n"}
+	t.Series = harness.SweepAll(c.spec(xs, trials), map[string]harness.TrialFunc{
+		"Best-of-3": est(3),
+		"Best-of-5": est(5),
+	}, []string{"Best-of-3", "Best-of-5"})
+	truth := harness.Series{Name: "TrueSize"}
+	for _, x := range xs {
+		truth.Points = append(truth.Points, harness.Point{X: x, Median: x, Lo: x, Hi: x, Trials: 1})
+	}
+	t.Series = append(t.Series, truth)
+	return t
+}
+
+// Figure19 regenerates Figure 19: total time (µs) for Best-of-3, Best-of-5
+// and BEB, 64-byte payload, 20 trials.
+func Figure19(c Config) harness.Table {
+	xs := c.nAxis(150, 10)
+	trials := c.trials(20)
+	cfg := mac.DefaultConfig()
+
+	bok := func(k int) harness.TrialFunc {
+		return func(x float64, g *rng.Source) float64 {
+			return us(mac.RunBestOfK(cfg, mac.DefaultBestOfK(k), int(x), g, nil).TotalTime)
+		}
+	}
+	t := harness.Table{ID: "fig19", Title: "Total time: BEST-OF-k vs BEB (µs), 64B",
+		XLabel: "n", YLabel: "total time (µs)"}
+	t.Series = harness.SweepAll(c.spec(xs, trials), map[string]harness.TrialFunc{
+		"Best-of-3": bok(3),
+		"Best-of-5": bok(5),
+		"BEB":       macTrial(cfg, backoff.NewBEB, func(r mac.Result) float64 { return us(r.TotalTime) }),
+	}, []string{"Best-of-3", "Best-of-5", "BEB"})
+	for _, name := range []string{"Best-of-3", "Best-of-5"} {
+		if pct, err := t.PercentVsBaseline(name, "BEB"); err == nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s vs BEB at largest n: %+.1f%% (paper: ~-26%%/-25%%)", name, pct))
+		}
+	}
+	return t
+}
+
+// DecompositionTable regenerates the Section III-B worked example: the
+// decomposition of BEB's total time at n = 150 into (I) collision
+// transmission time, (II) ACK timeouts, (III) CW slots.
+func DecompositionTable(c Config) harness.Table {
+	n := 150
+	if c.NMax > 0 {
+		n = c.NMax
+	}
+	trials := c.trials(15)
+	cfg := mac.DefaultConfig()
+
+	metrics := map[string]func(core.Decomposition) float64{
+		"I_transmission": func(d core.Decomposition) float64 { return us(d.TransmissionTime) },
+		"II_ackTimeouts": func(d core.Decomposition) float64 { return us(d.AckTimeoutTime) },
+		"III_cwSlots":    func(d core.Decomposition) float64 { return us(d.CWSlotTime) },
+		"lowerBound":     func(d core.Decomposition) float64 { return us(d.LowerBound) },
+		"observedTotal":  func(d core.Decomposition) float64 { return us(d.Observed) },
+	}
+	order := []string{"I_transmission", "II_ackTimeouts", "III_cwSlots", "lowerBound", "observedTotal"}
+	fns := map[string]harness.TrialFunc{}
+	for name, m := range metrics {
+		m := m
+		fns[name] = func(x float64, g *rng.Source) float64 {
+			res := mac.RunBatch(cfg, int(x), backoff.NewBEB, g, nil)
+			return m(core.Decompose(cfg, res))
+		}
+	}
+	t := harness.Table{ID: "decomp", Title: fmt.Sprintf("BEB total-time decomposition (µs), n=%d", n),
+		XLabel: "n", YLabel: "µs"}
+	t.Series = harness.SweepAll(c.spec([]float64{float64(n)}, trials), fns, order)
+	t.Notes = append(t.Notes,
+		"paper (n=150, 64B): (I) ~13163 µs dominates, (II) ~1100 µs, (III) ~7974 µs; lower bound ~22237 µs")
+	return t
+}
+
+func medianInt(xs []int) int {
+	s := append([]int(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/harness"
+	"repro/internal/mac"
+	"repro/internal/rng"
+	"repro/internal/saturation"
+	"repro/internal/traffic"
+)
+
+// SaturatedThroughputTable extends the paper toward its related-work
+// setting: saturated stations under continuous traffic (Bianchi's regime,
+// reference [8]). It sweeps n for the four paper algorithms plus quadratic
+// backoff (POLY(2), the candidate of reference [53]) and overlays Bianchi's
+// analytical prediction for BEB. CWmin is 16 (standard DCF): the paper's
+// single-batch CWmin = 1 degenerates to channel capture under saturation
+// (see mac.TestContinuousCaptureWithCWMin1).
+func SaturatedThroughputTable(c Config) harness.Table {
+	xs := c.nAxis(40, 10)
+	trials := c.trials(7)
+	horizon := 150 * time.Millisecond
+
+	cfg := mac.DefaultConfig()
+	cfg.CWMin = 16
+
+	algos := map[string]backoff.Factory{
+		"BEB":     backoff.NewBEB,
+		"LB":      backoff.NewLB,
+		"LLB":     backoff.NewLLB,
+		"STB":     backoff.NewSTB,
+		"POLY(2)": func() backoff.Policy { return backoff.NewPoly(2) },
+	}
+	order := []string{"BEB", "LB", "LLB", "STB", "POLY(2)"}
+	fns := map[string]harness.TrialFunc{}
+	for name, f := range algos {
+		f := f
+		fns[name] = func(x float64, g *rng.Source) float64 {
+			res := mac.RunContinuous(cfg, int(x), f, traffic.NewSaturated(), horizon, g, nil)
+			return res.ThroughputMbps
+		}
+	}
+	t := harness.Table{ID: "tput", Title: "Saturated throughput (Mbit/s payload), CWmin=16",
+		XLabel: "n", YLabel: "throughput (Mbps)"}
+	t.Series = harness.SweepAll(c.spec(xs, trials), fns, order)
+
+	// Bianchi's model as an analytic overlay for BEB.
+	model := harness.Series{Name: "Bianchi(BEB)"}
+	for _, x := range xs {
+		th, err := saturation.Predict(cfg, int(x))
+		if err != nil {
+			continue
+		}
+		model.Points = append(model.Points,
+			harness.Point{X: x, Median: th.Mbps, Lo: th.Mbps, Hi: th.Mbps, Trials: 1})
+	}
+	t.Series = append(t.Series, model)
+
+	if beb := t.SeriesByName("BEB"); beb != nil && len(beb.Points) > 0 && len(model.Points) > 0 {
+		last := len(beb.Points) - 1
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"at n=%.0f: simulated BEB %.2f Mbps vs Bianchi %.2f Mbps",
+			beb.Points[last].X, beb.Points[last].Median, model.Points[len(model.Points)-1].Median))
+	}
+	return t
+}

@@ -1,0 +1,195 @@
+// Package harness runs experiment sweeps in parallel and aggregates trial
+// results the way the paper reports them: per-point medians after the
+// 1.5·IQR outlier filter, with 95% confidence intervals.
+//
+// Trials are independent simulations, so parallelism lives here — at the
+// trial level — and never inside a single run. Every (series, x, trial)
+// triple derives its own RNG stream from the sweep seed, which makes results
+// bit-for-bit reproducible regardless of GOMAXPROCS or scheduling order.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Point is one aggregated x-position of a series.
+type Point struct {
+	X       float64
+	Median  float64
+	Lo, Hi  float64 // 95% CI of the median
+	Mean    float64
+	Trials  int // trials kept after outlier filtering
+	Removed int // outliers removed
+}
+
+// Series is a named line in a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Value returns the median at x, or NaN if x is absent.
+func (s Series) Value(x float64) float64 {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Median
+		}
+	}
+	return nan()
+}
+
+func nan() float64 { var z float64; return 0 / z }
+
+// Table is a full figure or table: several series over a shared x-axis.
+type Table struct {
+	ID     string // e.g. "fig7"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes carries free-form findings (regression summaries, percent
+	// deltas) printed with the table.
+	Notes []string
+}
+
+// SeriesByName returns the named series, or nil.
+func (t Table) SeriesByName(name string) *Series {
+	for i := range t.Series {
+		if t.Series[i].Name == name {
+			return &t.Series[i]
+		}
+	}
+	return nil
+}
+
+// PercentVsBaseline returns 100·(a−b)/b at the largest shared x, where b is
+// the baseline series — the paper's headline percentage convention
+// (baseline is always BEB).
+func (t Table) PercentVsBaseline(series, baseline string) (float64, error) {
+	a := t.SeriesByName(series)
+	b := t.SeriesByName(baseline)
+	if a == nil || b == nil || len(a.Points) == 0 || len(b.Points) == 0 {
+		return 0, fmt.Errorf("harness: series %q or %q missing", series, baseline)
+	}
+	ax := a.Points[len(a.Points)-1]
+	bx := b.Points[len(b.Points)-1]
+	if ax.X != bx.X {
+		return 0, fmt.Errorf("harness: series end at different x: %v vs %v", ax.X, bx.X)
+	}
+	return stats.PercentChange(ax.Median, bx.Median), nil
+}
+
+// TrialFunc produces one trial's measurement at parameter x using the
+// dedicated random stream g.
+type TrialFunc func(x float64, g *rng.Source) float64
+
+// SweepSpec describes one series' sweep.
+type SweepSpec struct {
+	Name   string
+	Xs     []float64
+	Trials int
+	Seed   uint64
+	// Workers caps parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// KeepOutliers disables the paper's outlier filter.
+	KeepOutliers bool
+}
+
+// Sweep runs fn over all (x, trial) pairs in parallel and aggregates each x.
+func Sweep(spec SweepSpec, fn TrialFunc) Series {
+	s, _ := SweepRaw(spec, fn)
+	return s
+}
+
+// SweepRaw is Sweep, additionally returning the raw per-trial measurements
+// (unfiltered, indexed [x][trial]) for procedures that need the scatter
+// rather than the aggregate — e.g. the paper's Figure 14 regression, which
+// fits per-trial differences.
+func SweepRaw(spec SweepSpec, fn TrialFunc) (Series, [][]float64) {
+	if spec.Trials < 1 {
+		panic("harness: Sweep needs Trials >= 1")
+	}
+	type job struct{ xi, trial int }
+	jobs := make(chan job)
+	raw := make([][]float64, len(spec.Xs))
+	for i := range raw {
+		raw[i] = make([]float64, spec.Trials)
+	}
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				x := spec.Xs[j.xi]
+				label := fmt.Sprintf("%s|x=%v|trial=%d", spec.Name, x, j.trial)
+				g := rng.New(rng.DeriveSeed(spec.Seed, label))
+				raw[j.xi][j.trial] = fn(x, g)
+			}
+		}()
+	}
+	for xi := range spec.Xs {
+		for tr := 0; tr < spec.Trials; tr++ {
+			jobs <- job{xi, tr}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	out := Series{Name: spec.Name, Points: make([]Point, len(spec.Xs))}
+	for xi, vals := range raw {
+		kept, removed := vals, 0
+		if !spec.KeepOutliers {
+			kept, removed = stats.FilterOutliers(vals)
+		}
+		s := stats.Summarize(kept)
+		out.Points[xi] = Point{
+			X:       spec.Xs[xi],
+			Median:  s.Median,
+			Lo:      s.MedianLo,
+			Hi:      s.MedianHi,
+			Mean:    s.Mean,
+			Trials:  s.N,
+			Removed: removed,
+		}
+	}
+	return out, raw
+}
+
+// SweepAll runs one sweep per named series over a shared x-axis, in
+// sequence (each sweep is internally parallel).
+func SweepAll(base SweepSpec, fns map[string]TrialFunc, order []string) []Series {
+	out := make([]Series, 0, len(fns))
+	for _, name := range order {
+		fn, okFn := fns[name]
+		if !okFn {
+			panic(fmt.Sprintf("harness: series %q has no trial func", name))
+		}
+		spec := base
+		spec.Name = name
+		out = append(out, Sweep(spec, fn))
+	}
+	return out
+}
+
+// IntXs builds the x-axis lo, lo+step, ..., hi (inclusive when aligned).
+func IntXs(lo, hi, step int) []float64 {
+	if step <= 0 || hi < lo {
+		panic("harness: bad x-axis range")
+	}
+	var out []float64
+	for x := lo; x <= hi; x += step {
+		out = append(out, float64(x))
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	spec := SweepSpec{Name: "s", Xs: IntXs(10, 50, 10), Trials: 8, Seed: 42}
+	fn := func(x float64, g *rng.Source) float64 { return x + g.Float64() }
+
+	spec.Workers = 1
+	a := Sweep(spec, fn)
+	spec.Workers = 8
+	b := Sweep(spec, fn)
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs across worker counts: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestSweepAggregation(t *testing.T) {
+	spec := SweepSpec{Name: "const", Xs: []float64{1, 2}, Trials: 11, Seed: 1}
+	s := Sweep(spec, func(x float64, g *rng.Source) float64 { return 10 * x })
+	for i, x := range spec.Xs {
+		p := s.Points[i]
+		if p.Median != 10*x || p.Mean != 10*x {
+			t.Fatalf("x=%v: %+v", x, p)
+		}
+		if p.Trials != 11 || p.Removed != 0 {
+			t.Fatalf("x=%v trials/removed: %+v", x, p)
+		}
+	}
+}
+
+func TestSweepFiltersOutliers(t *testing.T) {
+	spec := SweepSpec{Name: "o", Xs: []float64{1}, Trials: 20, Seed: 3}
+	s := Sweep(spec, func(x float64, g *rng.Source) float64 {
+		// A few wild values among the 20 trials, keyed off each trial's own
+		// deterministic stream (trial order across workers is arbitrary).
+		if g.Float64() < 0.05 {
+			return 1e9
+		}
+		return 100 + g.Float64()
+	})
+	p := s.Points[0]
+	if p.Median > 200 {
+		t.Fatalf("outliers leaked into median: %+v", p)
+	}
+}
+
+func TestSweepKeepOutliers(t *testing.T) {
+	spec := SweepSpec{Name: "k", Xs: []float64{1}, Trials: 10, Seed: 4, KeepOutliers: true}
+	s := Sweep(spec, func(float64, *rng.Source) float64 { return 7 })
+	if s.Points[0].Removed != 0 || s.Points[0].Trials != 10 {
+		t.Fatalf("%+v", s.Points[0])
+	}
+}
+
+func TestSweepAllOrdersSeries(t *testing.T) {
+	base := SweepSpec{Xs: []float64{5}, Trials: 3, Seed: 9}
+	fns := map[string]TrialFunc{
+		"a": func(float64, *rng.Source) float64 { return 1 },
+		"b": func(float64, *rng.Source) float64 { return 2 },
+	}
+	out := SweepAll(base, fns, []string{"b", "a"})
+	if out[0].Name != "b" || out[1].Name != "a" {
+		t.Fatalf("series order %v, %v", out[0].Name, out[1].Name)
+	}
+	if out[0].Points[0].Median != 2 || out[1].Points[0].Median != 1 {
+		t.Fatal("series values swapped")
+	}
+}
+
+func TestSweepRawShapeAndOrder(t *testing.T) {
+	spec := SweepSpec{Name: "r", Xs: []float64{2, 4}, Trials: 6, Seed: 8}
+	_, raw := SweepRaw(spec, func(x float64, g *rng.Source) float64 {
+		return x*1000 + g.Float64()
+	})
+	if len(raw) != 2 {
+		t.Fatalf("raw has %d x-rows", len(raw))
+	}
+	for xi, vals := range raw {
+		if len(vals) != 6 {
+			t.Fatalf("x-row %d has %d trials", xi, len(vals))
+		}
+		for _, v := range vals {
+			want := spec.Xs[xi] * 1000
+			if v < want || v >= want+1 {
+				t.Fatalf("raw value %v outside [%v, %v)", v, want, want+1)
+			}
+		}
+	}
+	// Raw values are deterministic and slot into trial order regardless of
+	// workers.
+	spec.Workers = 1
+	_, raw1 := SweepRaw(spec, func(x float64, g *rng.Source) float64 {
+		return x*1000 + g.Float64()
+	})
+	for xi := range raw {
+		for ti := range raw[xi] {
+			if raw[xi][ti] != raw1[xi][ti] {
+				t.Fatalf("raw[%d][%d] differs across worker counts", xi, ti)
+			}
+		}
+	}
+}
+
+func TestIntXs(t *testing.T) {
+	xs := IntXs(10, 150, 10)
+	if len(xs) != 15 || xs[0] != 10 || xs[14] != 150 {
+		t.Fatalf("IntXs = %v", xs)
+	}
+}
+
+func TestIntXsPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	IntXs(10, 5, 1)
+}
+
+func makeTable() Table {
+	return Table{
+		ID: "fig0", Title: "test", XLabel: "n", YLabel: "y",
+		Series: []Series{
+			{Name: "BEB", Points: []Point{{X: 10, Median: 100, Lo: 90, Hi: 110, Trials: 5}, {X: 20, Median: 200, Lo: 180, Hi: 220, Trials: 5}}},
+			{Name: "STB", Points: []Point{{X: 10, Median: 50, Lo: 45, Hi: 55, Trials: 5}, {X: 20, Median: 260, Lo: 250, Hi: 270, Trials: 5}}},
+		},
+	}
+}
+
+func TestPercentVsBaseline(t *testing.T) {
+	tab := makeTable()
+	got, err := tab.PercentVsBaseline("STB", "BEB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-30) > 1e-9 { // (260-200)/200
+		t.Fatalf("percent = %v", got)
+	}
+	if _, err := tab.PercentVsBaseline("NOPE", "BEB"); err == nil {
+		t.Fatal("missing series accepted")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	tab := makeTable()
+	tab.Notes = append(tab.Notes, "hello note")
+	var sb strings.Builder
+	if err := tab.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"FIG0", "BEB", "STB", "hello note", "200.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := makeTable()
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "n,BEB_median") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "10,100") {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestWritePlot(t *testing.T) {
+	tab := makeTable()
+	var sb strings.Builder
+	if err := tab.WritePlot(&sb, 60, 12); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "B") || !strings.Contains(out, "l") {
+		t.Fatalf("plot missing markers:\n%s", out)
+	}
+	if !strings.Contains(out, "B=BEB") {
+		t.Fatalf("plot missing legend:\n%s", out)
+	}
+}
+
+func TestSeriesValue(t *testing.T) {
+	s := makeTable().Series[0]
+	if s.Value(10) != 100 {
+		t.Fatal("Value(10)")
+	}
+	if v := s.Value(99); !math.IsNaN(v) {
+		t.Fatalf("Value(99) = %v, want NaN", v)
+	}
+}
+
+func TestSweepPanicsOnZeroTrials(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Sweep(SweepSpec{Xs: []float64{1}}, func(float64, *rng.Source) float64 { return 0 })
+}

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteTable prints the table in aligned text form: one row per x, one
+// column per series, with the 95% CI beside each median.
+func (t Table) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(t.ID), t.Title); err != nil {
+		return err
+	}
+	xs := t.xUnion()
+	header := fmt.Sprintf("%10s", t.XLabel)
+	for _, s := range t.Series {
+		header += fmt.Sprintf("  %24s", s.Name+" (median [95% CI])")
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		row := fmt.Sprintf("%10g", x)
+		for _, s := range t.Series {
+			p := s.pointAt(x)
+			if p == nil {
+				row += fmt.Sprintf("  %24s", "-")
+				continue
+			}
+			row += fmt.Sprintf("  %10.1f [%6.1f,%6.1f]", p.Median, p.Lo, p.Hi)
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits x plus median/lo/hi columns per series.
+func (t Table) WriteCSV(w io.Writer) error {
+	cols := []string{t.XLabel}
+	for _, s := range t.Series {
+		cols = append(cols, s.Name+"_median", s.Name+"_lo", s.Name+"_hi", s.Name+"_trials")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, x := range t.xUnion() {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range t.Series {
+			p := s.pointAt(x)
+			if p == nil {
+				row = append(row, "", "", "", "")
+				continue
+			}
+			row = append(row,
+				fmt.Sprintf("%g", p.Median), fmt.Sprintf("%g", p.Lo),
+				fmt.Sprintf("%g", p.Hi), fmt.Sprintf("%d", p.Trials))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePlot renders a crude ASCII scatter of the series medians, one marker
+// character per series, for a quick visual check of figure shapes.
+func (t Table) WritePlot(w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 72
+	}
+	if height < 5 {
+		height = 20
+	}
+	xs := t.xUnion()
+	if len(xs) == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	minX, maxX := xs[0], xs[len(xs)-1]
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			minY = math.Min(minY, p.Median)
+			maxY = math.Max(maxY, p.Median)
+		}
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	markers := []rune{'B', 'l', 'L', 'S', 'o', '+', '#', '@'}
+	for si, s := range t.Series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			var cx int
+			if maxX > minX {
+				cx = int((p.X - minX) / (maxX - minX) * float64(width-1))
+			}
+			cy := height - 1 - int((p.Median-minY)/(maxY-minY)*float64(height-1))
+			if cx >= 0 && cx < width && cy >= 0 && cy < height {
+				grid[cy][cx] = m
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s — %s  [y: %.3g..%.3g]\n", strings.ToUpper(t.ID), t.Title, minY, maxY); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s|\n", string(row)); err != nil {
+			return err
+		}
+	}
+	legend := make([]string, 0, len(t.Series))
+	for si, s := range t.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, " x: %g..%g %s   %s\n", minX, maxX, t.XLabel, strings.Join(legend, " "))
+	return err
+}
+
+func (t Table) xUnion() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func (s Series) pointAt(x float64) *Point {
+	for i := range s.Points {
+		if s.Points[i].X == x {
+			return &s.Points[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package mac
+
+import (
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/phy"
+)
+
+// accessPoint is the receiver: it acknowledges decoded data frames after a
+// SIFS and answers RTS with CTS. Frames that fail to decode get no response;
+// the sender discovers the collision only through its ACK timeout — the cost
+// the abstract model's assumption A2 ignores.
+type accessPoint struct {
+	sim  *sim
+	node *phy.Node
+
+	// busyUntil prevents scheduling two overlapping responses; on the
+	// paper's topology this never triggers, but it guards the invariant.
+	respPending bool
+
+	// failed collects the intervals of access frames that did not decode,
+	// for disjoint-collision counting by interval merge.
+	failed []interval
+	// captures counts frames decoded despite overlapping interference.
+	captures int
+}
+
+type interval struct {
+	start, end time.Duration
+}
+
+// ChannelBusy implements phy.Listener; the AP does not contend, so channel
+// state transitions carry no action.
+func (ap *accessPoint) ChannelBusy(event.Time) {}
+
+// ChannelIdle implements phy.Listener.
+func (ap *accessPoint) ChannelIdle(event.Time) {}
+
+// TxDone implements phy.Listener; the AP's own ACK/CTS transmissions need
+// no follow-up.
+func (ap *accessPoint) TxDone(*phy.Tx, event.Time) {}
+
+// FrameEnd implements phy.Listener.
+func (ap *accessPoint) FrameEnd(tx *phy.Tx, ok bool, now event.Time) {
+	f, isFrame := tx.Data.(Frame)
+	if !isFrame || f.Dst != APIndex {
+		return
+	}
+	if f.Kind == FrameDummy {
+		return // size-estimation probes are sensed, never acknowledged
+	}
+	if !ok {
+		ap.failed = append(ap.failed, interval{time.Duration(tx.Start), time.Duration(tx.End)})
+		return
+	}
+	if tx.InterfererCount() > 0 {
+		// Decoded despite overlap: the capture effect. Never happens on the
+		// paper's grid (see phy.TestGridNoCapture); counted for ablations.
+		ap.captures++
+	}
+	switch f.Kind {
+	case FrameData:
+		ap.respond(FrameAck, ap.sim.cfg.AckBytes, f.Src)
+	case FrameRTS:
+		ap.respond(FrameCTS, ap.sim.cfg.CTSBytes, f.Src)
+	}
+}
+
+func (ap *accessPoint) respond(kind FrameKind, bytes, dst int) {
+	if ap.respPending {
+		// Two decodable frames cannot end inside one SIFS on this channel;
+		// if the invariant breaks we drop the response (the sender will
+		// time out and retry) rather than corrupt the medium state.
+		return
+	}
+	ap.respPending = true
+	ap.sim.sched.ScheduleNamed("sifsResp", ap.sim.cfg.SIFS, func(event.Time) {
+		ap.respPending = false
+		tx := ap.sim.medium.Transmit(ap.node, ap.sim.cfg.ControlRate, bytes,
+			Frame{Kind: kind, Src: APIndex, Dst: dst})
+		if ap.sim.tracer != nil {
+			ap.sim.tracer.TxStart(APIndex, kind, time.Duration(tx.Start), time.Duration(tx.End))
+		}
+	})
+}
+
+// disjointCollisions merges the failed-frame intervals into maximal
+// overlapping groups: the paper's "disjoint collisions" C_A (Section III-B).
+// It returns the number of groups and their aggregate (union) duration.
+func (ap *accessPoint) disjointCollisions() (count int, airtime time.Duration) {
+	if len(ap.failed) == 0 {
+		return 0, 0
+	}
+	iv := append([]interval(nil), ap.failed...)
+	// Insertion sort by start; the list is nearly sorted already.
+	for i := 1; i < len(iv); i++ {
+		for j := i; j > 0 && iv[j].start < iv[j-1].start; j-- {
+			iv[j], iv[j-1] = iv[j-1], iv[j]
+		}
+	}
+	cur := iv[0]
+	for _, x := range iv[1:] {
+		if x.start < cur.end {
+			if x.end > cur.end {
+				cur.end = x.end
+			}
+			continue
+		}
+		count++
+		airtime += cur.end - cur.start
+		cur = x
+	}
+	count++
+	airtime += cur.end - cur.start
+	return count, airtime
+}

@@ -1,0 +1,191 @@
+package mac
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/event"
+	"repro/internal/phy"
+	"repro/internal/rng"
+)
+
+// BEST-OF-k (paper Figure 17): before contending, stations estimate n by
+// probing the channel. For levels i = 0..10 and k rounds per level, each
+// station transmits a 28-byte dummy with probability 2^-i, otherwise senses.
+// A station that finds the channel clear in more than k/2 of a level's
+// rounds adopts W = 2^i and stops probing. After the (fixed-length)
+// estimation phase every station runs fixed backoff with its own W.
+//
+// Probes are sensed, never acknowledged: the phase involves no collision
+// detection and hence none of the collision costs the paper identifies.
+
+// BestOfKConfig parameterizes the estimation phase.
+type BestOfKConfig struct {
+	// K is the number of probing rounds per level (the paper uses 3 and 5).
+	K int
+	// Levels is the number of probe levels; the paper's pseudocode uses
+	// i = 0..10 (11 levels).
+	Levels int
+	// RoundDuration is the length of one probing round (35 µs).
+	RoundDuration time.Duration
+	// DummyBytes is the probe frame size (28 bytes: no upper-layer headers).
+	DummyBytes int
+}
+
+// DefaultBestOfK returns the paper's estimation parameters with the given k.
+func DefaultBestOfK(k int) BestOfKConfig {
+	return BestOfKConfig{K: k, Levels: 11, RoundDuration: 35 * time.Microsecond, DummyBytes: 28}
+}
+
+// PhaseDuration returns the fixed length of the estimation phase.
+func (b BestOfKConfig) PhaseDuration() time.Duration {
+	return time.Duration(b.Levels*b.K) * b.RoundDuration
+}
+
+// BestOfKResult extends Result with the estimation outcome.
+type BestOfKResult struct {
+	Result
+	// Estimates holds each station's adopted window W (its estimate of n).
+	Estimates []int
+	// EstimationTime is the duration of the probing phase.
+	EstimationTime time.Duration
+	// ProbesSent counts dummy transmissions across all stations.
+	ProbesSent int
+}
+
+// RunBestOfK simulates a single batch of n stations running BEST-OF-k
+// followed by fixed backoff, on the same topology and DCF parameters as
+// RunBatch.
+func RunBestOfK(cfg Config, bok BestOfKConfig, n int, g *rng.Source, tracer Tracer) BestOfKResult {
+	if n < 1 {
+		panic("mac: RunBestOfK needs n >= 1")
+	}
+	if bok.K < 1 || bok.Levels < 1 {
+		panic("mac: BestOfKConfig needs K >= 1 and Levels >= 1")
+	}
+	sched := &event.Scheduler{}
+	medium := phy.NewMedium(sched, cfg.Radio)
+	m := &sim{
+		cfg:    cfg,
+		sched:  sched,
+		medium: medium,
+		tracer: tracer,
+		half:   (n + 1) / 2,
+	}
+	m.ap = &accessPoint{sim: m}
+	m.ap.node = medium.AddNode(phy.APPosition(), m.ap)
+
+	positions := phy.StationGrid(n)
+	nodes := make([]*phy.Node, n)
+	for i := range nodes {
+		nodes[i] = medium.AddNode(positions[i], nil)
+	}
+
+	// ---- Phase 1: probing ------------------------------------------------
+	type probe struct {
+		g     *rng.Source
+		done  bool
+		w     int
+		clear int
+		sent  bool // transmitted in the current round
+	}
+	probes := make([]*probe, n)
+	for i := range probes {
+		probes[i] = &probe{g: g.Derive(fmt.Sprintf("probe-%d", i))}
+	}
+	out := BestOfKResult{EstimationTime: bok.PhaseDuration()}
+
+	totalRounds := bok.Levels * bok.K
+	for r := 0; r < totalRounds; r++ {
+		r := r
+		level := r / bok.K
+		roundInLevel := r % bok.K
+		start := time.Duration(r) * bok.RoundDuration
+		sched.ScheduleNamed("probeRound", start, func(now event.Time) {
+			sentCount := 0
+			for i, p := range probes {
+				p.sent = false
+				if p.done {
+					continue
+				}
+				if p.g.Bernoulli(1 / float64(int(1)<<level)) {
+					p.sent = true
+					sentCount++
+					out.ProbesSent++
+					tx := medium.Transmit(nodes[i], cfg.DataRate, bok.DummyBytes,
+						Frame{Kind: FrameDummy, Src: i, Dst: APIndex})
+					if tracer != nil {
+						tracer.TxStart(i, FrameDummy, time.Duration(tx.Start), time.Duration(tx.End))
+					}
+				}
+			}
+			// Score the round at its end: the grid guarantees every station
+			// hears every probe (see phy.TestGridNoCapture), so a
+			// non-sending station senses "clear" iff nobody sent.
+			sched.ScheduleNamed("probeScore", bok.RoundDuration-time.Microsecond, func(event.Time) {
+				for _, p := range probes {
+					if p.done {
+						continue
+					}
+					if !p.sent && sentCount == 0 {
+						p.clear++
+					}
+				}
+				if roundInLevel == bok.K-1 {
+					for _, p := range probes {
+						if p.done {
+							continue
+						}
+						if 2*p.clear > bok.K {
+							p.done = true
+							p.w = 1 << level
+						}
+						p.clear = 0
+					}
+				}
+			})
+		})
+	}
+
+	// ---- Phase 2: fixed backoff with the adopted windows ------------------
+	sched.ScheduleNamed("contentionStart", bok.PhaseDuration(), func(event.Time) {
+		m.sts = make([]*station, n)
+		for i := 0; i < n; i++ {
+			w := probes[i].w
+			if !probes[i].done {
+				w = 1 << (bok.Levels - 1) // never terminated: adopt the cap
+			}
+			pol := backoff.NewFixed(w)
+			pol.Reset()
+			st := &station{
+				idx:  i,
+				sim:  m,
+				pol:  pol,
+				g:    g.Derive(fmt.Sprintf("station-%d", i)),
+				node: nodes[i],
+			}
+			medium.SetListener(nodes[i], st)
+			m.sts[i] = st
+			st.begin()
+		}
+	})
+
+	fired, drained := sched.Run(cfg.maxEvents())
+	if !drained {
+		panic(fmt.Sprintf("mac: best-of-%d event budget exhausted (n=%d)", bok.K, n))
+	}
+	if m.finished != n {
+		panic(fmt.Sprintf("mac: best-of-%d: only %d of %d stations finished", bok.K, m.finished, n))
+	}
+	out.Result = m.collect(fired)
+	out.Estimates = make([]int, n)
+	for i, p := range probes {
+		if p.done {
+			out.Estimates[i] = p.w
+		} else {
+			out.Estimates[i] = 1 << (bok.Levels - 1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/rng"
+	"repro/internal/traffic"
+)
+
+func TestContinuousLightLoadDeliversEverything(t *testing.T) {
+	cfg := DefaultConfig()
+	// 10 stations at 100 pkt/s each over 200 ms: ~200 packets, far below
+	// channel capacity — everything offered should be delivered.
+	res := RunContinuous(cfg, 10, backoff.NewBEB, traffic.NewPoisson(100),
+		200*time.Millisecond, rng.New(1), nil)
+	if res.Offered == 0 {
+		t.Fatal("no packets offered")
+	}
+	frac := float64(res.Delivered) / float64(res.Offered)
+	if frac < 0.95 {
+		t.Fatalf("light load delivered only %d of %d", res.Delivered, res.Offered)
+	}
+	if res.Backlog != res.Offered-res.Delivered {
+		t.Fatalf("backlog %d inconsistent", res.Backlog)
+	}
+}
+
+func TestContinuousSaturatedThroughputBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	res := RunContinuous(cfg, 10, backoff.NewBEB, traffic.NewSaturated(),
+		100*time.Millisecond, rng.New(2), nil)
+	// Theoretical ceiling: payload bits per MinPerPacketTime (no DIFS, no
+	// backoff, no collisions) — throughput must stay below it and above a
+	// sanity floor.
+	ceiling := float64(cfg.PayloadBytes*8) / cfg.MinPerPacketTime().Seconds() / 1e6
+	if res.ThroughputMbps >= ceiling {
+		t.Fatalf("throughput %.2f Mbps above physical ceiling %.2f", res.ThroughputMbps, ceiling)
+	}
+	if res.ThroughputMbps < 0.1*ceiling {
+		t.Fatalf("throughput %.2f Mbps implausibly low (ceiling %.2f)", res.ThroughputMbps, ceiling)
+	}
+	if res.Backlog == 0 {
+		t.Fatal("saturated run ended with empty backlog")
+	}
+}
+
+func TestContinuousLatencyQuantilesOrdered(t *testing.T) {
+	cfg := DefaultConfig()
+	res := RunContinuous(cfg, 15, backoff.NewBEB, traffic.NewPoisson(200),
+		150*time.Millisecond, rng.New(3), nil)
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if !(res.LatencyP50 <= res.LatencyP95 && res.LatencyP95 <= res.LatencyMax) {
+		t.Fatalf("latency quantiles out of order: %v %v %v",
+			res.LatencyP50, res.LatencyP95, res.LatencyMax)
+	}
+	if res.LatencyP50 < cfg.MinPerPacketTime() {
+		t.Fatalf("p50 latency %v below the physical minimum %v", res.LatencyP50, cfg.MinPerPacketTime())
+	}
+}
+
+func TestContinuousFairnessUnderSaturation(t *testing.T) {
+	// With the standard CWmin = 16 (not the paper's single-batch CWmin = 1,
+	// see the capture test below), symmetric saturated stations share the
+	// channel roughly fairly.
+	cfg := DefaultConfig()
+	cfg.CWMin = 16
+	res := RunContinuous(cfg, 8, backoff.NewBEB, traffic.NewSaturated(),
+		200*time.Millisecond, rng.New(4), nil)
+	if res.JainFairness <= 0 || res.JainFairness > 1 {
+		t.Fatalf("Jain index %v out of (0,1]", res.JainFairness)
+	}
+	if res.JainFairness < 0.7 {
+		t.Fatalf("Jain index %v suspiciously unfair for symmetric stations", res.JainFairness)
+	}
+}
+
+// TestContinuousCaptureWithCWMin1 documents a degeneracy outside the
+// paper's scope: under saturation with Table I's CWmin = 1, DCF's
+// per-packet window reset lets one station monopolize the channel — after
+// each success its fresh window of 1 transmits at the very DIFS boundary
+// while everyone else still counts down. Jain's index collapses to ~1/n.
+// The paper's single-batch workload (one packet per station) never
+// exercises this; continuous-traffic experiments must use CWmin = 16.
+func TestContinuousCaptureWithCWMin1(t *testing.T) {
+	cfg := DefaultConfig() // CWmin = 1
+	const n = 8
+	res := RunContinuous(cfg, n, backoff.NewBEB, traffic.NewSaturated(),
+		200*time.Millisecond, rng.New(4), nil)
+	if res.JainFairness > 2.0/n {
+		t.Fatalf("Jain index %v: expected near-total capture (~%v) under CWmin=1 saturation",
+			res.JainFairness, 1.0/n)
+	}
+}
+
+func TestContinuousDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	run := func() ContinuousResult {
+		return RunContinuous(cfg, 6, backoff.NewBEB, traffic.NewPoisson(300),
+			100*time.Millisecond, rng.New(5), nil)
+	}
+	a, b := run(), run()
+	if a.Delivered != b.Delivered || a.Collisions != b.Collisions || a.LatencyMax != b.LatencyMax {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestContinuousPerStationAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	res := RunContinuous(cfg, 5, backoff.NewBEB, traffic.NewPeriodic(2*time.Millisecond),
+		50*time.Millisecond, rng.New(6), nil)
+	var delivered int
+	for _, s := range res.Stations {
+		delivered += s.Delivered
+		if s.Delivered > 0 && s.TxAirtime == 0 {
+			t.Fatal("delivered packets with zero airtime")
+		}
+	}
+	if delivered != res.Delivered {
+		t.Fatalf("per-station deliveries %d != total %d", delivered, res.Delivered)
+	}
+}
+
+func TestContinuousBurstyTrafficRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	res := RunContinuous(cfg, 10, backoff.NewBEB,
+		traffic.NewParetoBursts(1.5, 5*time.Millisecond, 8),
+		200*time.Millisecond, rng.New(7), nil)
+	if res.Offered == 0 {
+		t.Fatal("bursty process offered nothing")
+	}
+	if res.Delivered == 0 {
+		t.Fatal("bursty run delivered nothing")
+	}
+}
+
+func TestContinuousPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	for name, fn := range map[string]func(){
+		"n": func() {
+			RunContinuous(cfg, 0, backoff.NewBEB, traffic.NewSaturated(), time.Millisecond, rng.New(1), nil)
+		},
+		"horizon": func() {
+			RunContinuous(cfg, 1, backoff.NewBEB, traffic.NewSaturated(), 0, rng.New(1), nil)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestContinuousQuadraticBackoffCompetitive checks the related-work claim
+// ([53]: polynomial backoff trades throughput vs fairness well) in
+// miniature: POLY(2) achieves comparable saturated throughput to BEB.
+func TestContinuousQuadraticBackoffCompetitive(t *testing.T) {
+	cfg := DefaultConfig()
+	poly := func() backoff.Policy { return backoff.NewPoly(2) }
+	beb := RunContinuous(cfg, 10, backoff.NewBEB, traffic.NewSaturated(),
+		150*time.Millisecond, rng.New(8), nil)
+	p2 := RunContinuous(cfg, 10, poly, traffic.NewSaturated(),
+		150*time.Millisecond, rng.New(8), nil)
+	if p2.ThroughputMbps < 0.4*beb.ThroughputMbps {
+		t.Fatalf("POLY(2) throughput %.2f collapsed vs BEB %.2f", p2.ThroughputMbps, beb.ThroughputMbps)
+	}
+}

@@ -1,0 +1,56 @@
+package mac
+
+import "time"
+
+// FrameKind distinguishes the four MAC frame types on the air.
+type FrameKind int
+
+// Frame kinds.
+const (
+	FrameData FrameKind = iota
+	FrameAck
+	FrameRTS
+	FrameCTS
+	FrameDummy // BEST-OF-k size-estimation probe
+)
+
+// String returns a short name for the frame kind.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameData:
+		return "DATA"
+	case FrameAck:
+		return "ACK"
+	case FrameRTS:
+		return "RTS"
+	case FrameCTS:
+		return "CTS"
+	case FrameDummy:
+		return "DUMMY"
+	default:
+		return "?"
+	}
+}
+
+// Frame is the MAC header carried opaquely through the PHY.
+// Src and Dst are station indices; the AP is addressed as APIndex.
+type Frame struct {
+	Kind FrameKind
+	Src  int
+	Dst  int
+}
+
+// APIndex addresses the access point in Frame.Src/Dst.
+const APIndex = -1
+
+// Tracer observes per-station MAC events; the trace package renders them
+// into the paper's Figure 13 timeline. A nil Tracer disables tracing.
+type Tracer interface {
+	// TxStart records a transmission by a station (or the AP, station ==
+	// APIndex) of the given kind over [start, end).
+	TxStart(station int, kind FrameKind, start, end time.Duration)
+	// Success records reception of the ACK completing a station's packet.
+	Success(station int, at time.Duration)
+	// AckTimeout records a station concluding that a collision occurred.
+	AckTimeout(station int, at time.Duration)
+}

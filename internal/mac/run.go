@@ -1,0 +1,233 @@
+package mac
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/event"
+	"repro/internal/phy"
+	"repro/internal/rng"
+)
+
+// Result aggregates one single-batch DCF run.
+type Result struct {
+	N int
+	// TotalTime is when the last station's ACK arrived (paper Figures 7, 8).
+	TotalTime time.Duration
+	// HalfTime is when the ceil(n/2)-th station finished (Figures 9, 10).
+	HalfTime time.Duration
+	// CWSlots counts distinct backoff slot boundaries observed on the
+	// channel up to the last finish (Figures 3, 4): the MAC analogue of the
+	// abstract model's contention-window slots.
+	CWSlots int
+	// CWSlotsAtHalf is the CWSlots snapshot at HalfTime (Figure 6).
+	CWSlotsAtHalf int
+	// BackoffAir is the union of time spent with at least one station
+	// counting down; CWSlots ~ BackoffAir/SlotTime when stations stay
+	// aligned.
+	BackoffAir time.Duration
+	// Collisions is the number of disjoint collisions at the AP: maximal
+	// groups of temporally overlapping undecodable access frames.
+	Collisions int
+	// CollisionAir is the union duration of those collision groups — the
+	// paper's "(I) transmission time" cost component.
+	CollisionAir time.Duration
+	// Captures counts frames the AP decoded despite temporal overlap with
+	// another transmission. Zero on the paper's grid topology; non-zero
+	// only under ablation layouts with large receive-power spreads.
+	Captures int
+	// MaxAckTimeouts is the maximum ACK timeouts over stations (Figure 11).
+	MaxAckTimeouts int
+	// MaxAckTimeoutWait is the timeout wait of the station with the most
+	// timeouts (Figure 12).
+	MaxAckTimeoutWait time.Duration
+	// TotalAckTimeouts sums ACK timeouts over all stations.
+	TotalAckTimeouts int
+	// Stations holds the per-station counters.
+	Stations []StationStats
+	// Events is the number of simulator events fired.
+	Events uint64
+}
+
+// FinishTimes returns every station's finish time.
+func (r Result) FinishTimes() []time.Duration {
+	out := make([]time.Duration, len(r.Stations))
+	for i, s := range r.Stations {
+		out[i] = s.FinishTime
+	}
+	return out
+}
+
+// TimeToFinish returns the time at which the k-th packet completed
+// (1 <= k <= N) — the k-selection metric generalizing the paper's n/2
+// plots. It panics on out-of-range k.
+func (r Result) TimeToFinish(k int) time.Duration {
+	if k < 1 || k > len(r.Stations) {
+		panic(fmt.Sprintf("mac: TimeToFinish(%d) with %d stations", k, len(r.Stations)))
+	}
+	ts := r.FinishTimes()
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts[k-1]
+}
+
+// sim owns one simulation run.
+type sim struct {
+	cfg    Config
+	sched  *event.Scheduler
+	medium *phy.Medium
+	ap     *accessPoint
+	sts    []*station
+	tracer Tracer
+
+	finished     int
+	half         int
+	halfTime     time.Duration
+	halfCWSlots  int
+	lastFinish   time.Duration
+	cwSlotTicks  int
+	lastTick     event.Time
+	lastTickSet  bool
+	backoffCount int // stations currently counting down
+	backoffSince event.Time
+	backoffAir   time.Duration
+
+	inferredCollisions int
+
+	// latencies collects per-packet queueing+service delays; used by the
+	// continuous-traffic mode, harmless (arrival time 0) in batch runs.
+	latencies []time.Duration
+}
+
+// slotTick counts one global contention-window slot boundary; simultaneous
+// decrements by aligned stations collapse into one tick.
+func (m *sim) slotTick(now event.Time) {
+	if m.lastTickSet && now == m.lastTick {
+		return
+	}
+	m.lastTick = now
+	m.lastTickSet = true
+	m.cwSlotTicks++
+}
+
+func (m *sim) backoffEnter(now event.Time) {
+	if m.backoffCount == 0 {
+		m.backoffSince = now
+	}
+	m.backoffCount++
+}
+
+func (m *sim) backoffLeave(now event.Time) {
+	m.backoffCount--
+	if m.backoffCount == 0 {
+		m.backoffAir += time.Duration(now - m.backoffSince)
+	}
+	if m.backoffCount < 0 {
+		panic("mac: backoff accounting underflow")
+	}
+}
+
+func (m *sim) packetDelivered(idx int, latency time.Duration, now event.Time) {
+	m.finished++
+	m.lastFinish = time.Duration(now)
+	m.latencies = append(m.latencies, latency)
+	if m.finished == m.half {
+		m.halfTime = time.Duration(now)
+		m.halfCWSlots = m.cwSlotTicks
+	}
+}
+
+func (m *sim) noteInferredCollision(idx int, now event.Time) {
+	m.inferredCollisions++
+}
+
+// RunBatch simulates a single batch of n stations, all arriving at time
+// zero, each sending one packet through DCF with a contention-window
+// schedule from f. The tracer may be nil.
+func RunBatch(cfg Config, n int, f backoff.Factory, g *rng.Source, tracer Tracer) Result {
+	if n < 1 {
+		panic("mac: RunBatch needs n >= 1")
+	}
+	return RunBatchAt(cfg, phy.StationGrid(n), f, g, tracer)
+}
+
+// RunBatchAt is RunBatch with explicit station positions (the AP stays at
+// the grid centre). It exists for topology ablations; the paper's
+// experiments all use the standard grid.
+func RunBatchAt(cfg Config, positions []phy.Position, f backoff.Factory, g *rng.Source, tracer Tracer) Result {
+	n := len(positions)
+	if n < 1 {
+		panic("mac: RunBatchAt needs at least one station")
+	}
+	m := newSim(cfg, positions, f, g, tracer)
+	for _, s := range m.sts {
+		s.begin()
+	}
+	fired, drained := m.sched.Run(cfg.maxEvents())
+	if !drained {
+		panic(fmt.Sprintf("mac: event budget exhausted after %d events (n=%d, %s)",
+			fired, n, m.sts[0].pol.Name()))
+	}
+	if m.finished != n {
+		panic(fmt.Sprintf("mac: only %d of %d stations finished", m.finished, n))
+	}
+	return m.collect(fired)
+}
+
+// newSim builds the medium, AP, and stations at the given positions.
+func newSim(cfg Config, positions []phy.Position, f backoff.Factory, g *rng.Source, tracer Tracer) *sim {
+	n := len(positions)
+	sched := &event.Scheduler{}
+	if cfg.Radio.FrameLossProb > 0 && cfg.Radio.LossSeed == 0 {
+		cfg.Radio.LossSeed = g.Derive("frame-loss").Uint64()
+	}
+	medium := phy.NewMedium(sched, cfg.Radio)
+	m := &sim{
+		cfg:    cfg,
+		sched:  sched,
+		medium: medium,
+		tracer: tracer,
+		half:   (n + 1) / 2,
+	}
+	m.ap = &accessPoint{sim: m}
+	m.ap.node = medium.AddNode(phy.APPosition(), m.ap)
+	m.sts = make([]*station, n)
+	for i := 0; i < n; i++ {
+		pol := f()
+		pol.Reset()
+		st := &station{
+			idx: i,
+			sim: m,
+			pol: pol,
+			g:   g.Derive(fmt.Sprintf("station-%d", i)),
+		}
+		st.node = medium.AddNode(positions[i], st)
+		m.sts[i] = st
+	}
+	return m
+}
+
+func (m *sim) collect(fired uint64) Result {
+	res := Result{
+		N:          len(m.sts),
+		TotalTime:  m.lastFinish,
+		HalfTime:   m.halfTime,
+		CWSlots:    m.cwSlotTicks,
+		BackoffAir: m.backoffAir,
+		Events:     fired,
+	}
+	res.CWSlotsAtHalf = m.halfCWSlots
+	res.Collisions, res.CollisionAir = m.ap.disjointCollisions()
+	res.Captures = m.ap.captures
+	res.Stations = make([]StationStats, len(m.sts))
+	for i, s := range m.sts {
+		res.Stations[i] = s.stats
+		res.TotalAckTimeouts += s.stats.AckTimeouts
+		if s.stats.AckTimeouts > res.MaxAckTimeouts {
+			res.MaxAckTimeouts = s.stats.AckTimeouts
+			res.MaxAckTimeoutWait = s.stats.AckTimeoutWait
+		}
+	}
+	return res
+}

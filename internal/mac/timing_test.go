@@ -1,0 +1,139 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/phy"
+	"repro/internal/rng"
+)
+
+// Exact protocol-timing tests: single-station runs are fully deterministic,
+// so the complete DCF exchange can be checked to the microsecond.
+
+func TestRTSCTSSingleStationExactTiming(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RTSCTS = true
+	res := RunBatch(cfg, 1, backoff.NewBEB, rng.New(1), nil)
+	rts := phy.FrameDuration(cfg.ControlRate, cfg.RTSBytes) // 20 B @ 24 Mbps = 28 µs
+	cts := phy.FrameDuration(cfg.ControlRate, cfg.CTSBytes) // 14 B @ 24 Mbps = 28 µs
+	want := cfg.DIFS + rts + cfg.SIFS + cts + cfg.SIFS + cfg.DataFrameDuration() + cfg.SIFS + cfg.AckDuration()
+	if res.TotalTime != want {
+		t.Fatalf("RTS/CTS single-station total %v, want %v", res.TotalTime, want)
+	}
+}
+
+func TestSingleStation1024BExactTiming(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PayloadBytes = 1024
+	res := RunBatch(cfg, 1, backoff.NewBEB, rng.New(2), nil)
+	// 1088 B PSDU at 54 Mbps: 16+8704+6 = 8726 bits -> 41 symbols = 164 µs
+	// + 20 µs preamble.
+	if cfg.DataFrameDuration() != 184*time.Microsecond {
+		t.Fatalf("frame duration %v, want 184µs", cfg.DataFrameDuration())
+	}
+	want := cfg.DIFS + cfg.DataFrameDuration() + cfg.SIFS + cfg.AckDuration()
+	if res.TotalTime != want {
+		t.Fatalf("total %v, want %v", res.TotalTime, want)
+	}
+}
+
+func TestTwoStationRetryExactTiming(t *testing.T) {
+	// Deterministic first collision (both counters 0 in window 1), then a
+	// seed-dependent resolution; check the collision's exact fingerprint:
+	// both stations time out exactly AckTimeout after the joint frame ends.
+	cfg := DefaultConfig()
+	rec := &timingTracer{}
+	RunBatch(cfg, 2, backoff.NewBEB, rng.New(3), rec)
+	if len(rec.timeouts) < 2 {
+		t.Fatalf("expected 2 first-collision timeouts, got %d", len(rec.timeouts))
+	}
+	frameEnd := cfg.DIFS + cfg.DataFrameDuration()
+	wantTimeout := frameEnd + cfg.AckTimeout
+	for i := 0; i < 2; i++ {
+		if rec.timeouts[i] != wantTimeout {
+			t.Fatalf("timeout %d at %v, want %v", i, rec.timeouts[i], wantTimeout)
+		}
+	}
+	// Both initial transmissions start exactly at DIFS end.
+	for i := 0; i < 2; i++ {
+		if rec.txStarts[i] != cfg.DIFS {
+			t.Fatalf("tx %d started at %v, want %v", i, rec.txStarts[i], cfg.DIFS)
+		}
+	}
+}
+
+// timingTracer records only what the timing tests need.
+type timingTracer struct {
+	txStarts []time.Duration
+	timeouts []time.Duration
+}
+
+func (tt *timingTracer) TxStart(st int, kind FrameKind, start, end time.Duration) {
+	if st >= 0 && kind == FrameData {
+		tt.txStarts = append(tt.txStarts, start)
+	}
+}
+func (tt *timingTracer) Success(int, time.Duration) {}
+func (tt *timingTracer) AckTimeout(st int, at time.Duration) {
+	tt.timeouts = append(tt.timeouts, at)
+}
+
+func TestEIFSAppliedAfterCollision(t *testing.T) {
+	// After the first collision ends, a third (bystander) station must
+	// defer EIFS, not DIFS, before its countdown resumes. Verify through
+	// the retry transmission times: with seed-dependent counters we can at
+	// least assert no station transmits within EIFS of the collision's end.
+	cfg := DefaultConfig()
+	rec := &timingTracer{}
+	RunBatch(cfg, 3, backoff.NewBEB, rng.New(4), rec)
+	collisionEnd := cfg.DIFS + cfg.DataFrameDuration()
+	for _, ts := range rec.txStarts {
+		if ts > collisionEnd && ts < collisionEnd+cfg.EIFS {
+			t.Fatalf("transmission at %v inside the post-collision EIFS window (%v..%v)",
+				ts, collisionEnd, collisionEnd+cfg.EIFS)
+		}
+	}
+}
+
+func TestConfigDurations(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.PacketBytes() != 128 {
+		t.Fatalf("PacketBytes = %d", cfg.PacketBytes())
+	}
+	if cfg.DataFrameDuration() != 40*time.Microsecond {
+		t.Fatalf("DataFrameDuration = %v", cfg.DataFrameDuration())
+	}
+	if cfg.AckDuration() != 28*time.Microsecond {
+		t.Fatalf("AckDuration = %v", cfg.AckDuration())
+	}
+	if cfg.MinPerPacketTime() != 84*time.Microsecond {
+		t.Fatalf("MinPerPacketTime = %v", cfg.MinPerPacketTime())
+	}
+	if cfg.EIFS != 78*time.Microsecond {
+		t.Fatalf("EIFS = %v", cfg.EIFS)
+	}
+}
+
+func TestFrameKindStrings(t *testing.T) {
+	want := map[FrameKind]string{
+		FrameData: "DATA", FrameAck: "ACK", FrameRTS: "RTS",
+		FrameCTS: "CTS", FrameDummy: "DUMMY", FrameKind(99): "?",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("FrameKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestStationStateStrings(t *testing.T) {
+	states := []stationState{stateIdle, stateDifsWait, stateBackoff, stateFrozen,
+		stateTx, stateAwaitResp, stateSifsWait, stationState(99)}
+	for _, s := range states {
+		if s.String() == "" {
+			t.Errorf("state %d has empty string", s)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package phy
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/rng"
+)
+
+// Listener receives channel notifications for one node. All callbacks run on
+// the simulation goroutine.
+type Listener interface {
+	// ChannelBusy fires when the energy sensed at the node rises above the
+	// carrier-sense threshold (0 -> >=1 transmissions heard).
+	ChannelBusy(now event.Time)
+	// ChannelIdle fires when the last heard transmission ends.
+	ChannelIdle(now event.Time)
+	// FrameEnd fires at the end of every transmission heard by this node
+	// (src excluded). ok reports whether the frame decoded at this node:
+	// received power above the noise-limited threshold and SINR at or above
+	// the rate's minimum for the frame's entire duration.
+	FrameEnd(tx *Tx, ok bool, now event.Time)
+	// TxDone fires on the transmitting node when its own transmission ends,
+	// at the frame's natural end or earlier if it was aborted (see
+	// Config.AbortOverlapAfter).
+	TxDone(tx *Tx, now event.Time)
+}
+
+// Config holds the radio parameters shared by all nodes.
+type Config struct {
+	TxPower     DBm           // transmit power for every node
+	NoiseFloor  DBm           // thermal noise + receiver noise figure
+	CSThreshold DBm           // energy-detection carrier-sense threshold
+	PathLoss    PathLossModel // propagation model
+
+	// AbortOverlapAfter, when positive, truncates every transmission
+	// involved in an overlap to that long after the overlap begins —
+	// emulating the multi-antenna / MIMO instant collision detection the
+	// paper's Section V-B identifies as the regime where the abstract
+	// model's assumption A2 becomes valid. Zero (the default) disables it:
+	// ordinary radios transmit their whole frame into a collision.
+	AbortOverlapAfter time.Duration
+
+	// FrameLossProb randomly fails reception of otherwise-decodable frames
+	// with this probability, independently per (frame, receiver) —
+	// fading/noise effects beyond the SINR model. The paper notes that a
+	// sender cannot tell such a loss from a collision ("the sending station
+	// still diagnoses that a collision has occurred"); this knob exercises
+	// that path. Zero disables it.
+	FrameLossProb float64
+	// LossSeed seeds the loss process when FrameLossProb > 0.
+	LossSeed uint64
+}
+
+// DefaultConfig mirrors the paper's NS3 defaults: 16.0206 dBm transmit
+// power, a -94 dBm noise floor (-174 dBm/Hz thermal + 73 dB for 20 MHz +
+// 7 dB noise figure), a -92 dBm energy-detection threshold, and log-distance
+// path loss with NS3's default parameters.
+func DefaultConfig() Config {
+	return Config{
+		TxPower:     16.0206,
+		NoiseFloor:  -94,
+		CSThreshold: -92,
+		PathLoss:    NewLogDistance(),
+	}
+}
+
+// Tx is one transmission on the medium.
+type Tx struct {
+	Src   *Node
+	Rate  Rate
+	Bytes int // PSDU length in octets
+	Start event.Time
+	End   event.Time
+	Data  any // opaque MAC frame
+
+	interferers []*Tx // transmissions overlapping [Start, End)
+	endEv       *event.Event
+	aborted     bool
+}
+
+// Aborted reports whether the transmission was cut short by overlap
+// detection (Config.AbortOverlapAfter).
+func (t *Tx) Aborted() bool { return t.aborted }
+
+// Duration returns the on-air duration of the transmission.
+func (t *Tx) Duration() time.Duration { return time.Duration(t.End - t.Start) }
+
+// InterfererCount returns how many other transmissions overlapped this one.
+func (t *Tx) InterfererCount() int { return len(t.interferers) }
+
+// Node is a radio attached to the medium.
+type Node struct {
+	ID  int
+	Pos Position
+
+	medium    *Medium
+	listener  Listener
+	busyCount int // transmissions currently heard
+	sending   bool
+}
+
+// Busy reports whether the node currently senses energy above the
+// carrier-sense threshold from some other node's transmission.
+func (n *Node) Busy() bool { return n.busyCount > 0 }
+
+// Sending reports whether the node itself is currently transmitting.
+func (n *Node) Sending() bool { return n.sending }
+
+// Medium is the shared wireless channel: it tracks concurrent transmissions,
+// drives carrier-sense notifications, and decides frame reception by SINR.
+type Medium struct {
+	cfg    Config
+	sched  *event.Scheduler
+	nodes  []*Node
+	active []*Tx
+
+	// gain[i][j] caches the linear channel gain (mW received per mW sent)
+	// between node i and node j.
+	gain [][]float64
+
+	// lossRand drives random frame loss (nil when FrameLossProb == 0).
+	lossRand *rng.Source
+
+	// Stats.
+	TotalTx     int
+	TotalAirNs  int64
+	PeakOverlap int
+}
+
+// NewMedium creates a medium using the given scheduler and radio config.
+func NewMedium(sched *event.Scheduler, cfg Config) *Medium {
+	if cfg.PathLoss == nil {
+		cfg.PathLoss = NewLogDistance()
+	}
+	m := &Medium{cfg: cfg, sched: sched}
+	if cfg.FrameLossProb > 0 {
+		m.lossRand = rng.New(cfg.LossSeed)
+	}
+	return m
+}
+
+// Config returns the radio configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// AddNode attaches a radio at pos with the given listener and returns it.
+// All nodes must be added before the first transmission.
+func (m *Medium) AddNode(pos Position, l Listener) *Node {
+	n := &Node{ID: len(m.nodes), Pos: pos, medium: m, listener: l}
+	m.nodes = append(m.nodes, n)
+	m.gain = nil // invalidate cache
+	return n
+}
+
+// SetListener replaces the listener of a node (used when MAC entities are
+// constructed after their radios).
+func (m *Medium) SetListener(n *Node, l Listener) { n.listener = l }
+
+// Nodes returns the attached nodes.
+func (m *Medium) Nodes() []*Node { return m.nodes }
+
+func (m *Medium) buildGains() {
+	k := len(m.nodes)
+	m.gain = make([][]float64, k)
+	for i := range m.gain {
+		m.gain[i] = make([]float64, k)
+		for j := range m.gain[i] {
+			if i == j {
+				continue
+			}
+			d := m.nodes[i].Pos.DistanceTo(m.nodes[j].Pos)
+			m.gain[i][j] = DB(-m.cfg.PathLoss.Loss(d)).Ratio()
+		}
+	}
+}
+
+// rxPowerMw returns the received power at dst for a transmission from src,
+// in milliwatts.
+func (m *Medium) rxPowerMw(src, dst *Node) float64 {
+	if m.gain == nil {
+		m.buildGains()
+	}
+	return m.cfg.TxPower.MilliWatt() * m.gain[src.ID][dst.ID]
+}
+
+// RxPower returns the received power at dst for a transmission from src.
+func (m *Medium) RxPower(src, dst *Node) DBm {
+	return DBmFromMilliWatt(m.rxPowerMw(src, dst))
+}
+
+// Transmit puts a frame of length bytes at the given rate on the air from
+// src, starting now. The returned Tx ends automatically; listeners get
+// FrameEnd callbacks then. A node cannot transmit twice concurrently.
+func (m *Medium) Transmit(src *Node, rate Rate, bytes int, data any) *Tx {
+	if src.sending {
+		panic(fmt.Sprintf("phy: node %d already transmitting at t=%v", src.ID, m.sched.Now()))
+	}
+	dur := FrameDuration(rate, bytes)
+	now := m.sched.Now()
+	tx := &Tx{Src: src, Rate: rate, Bytes: bytes, Start: now, End: now + dur, Data: data}
+
+	// Record mutual interference with everything already on the air.
+	for _, other := range m.active {
+		other.interferers = append(other.interferers, tx)
+		tx.interferers = append(tx.interferers, other)
+	}
+	m.active = append(m.active, tx)
+	if len(m.active) > m.PeakOverlap {
+		m.PeakOverlap = len(m.active)
+	}
+	m.TotalTx++
+	m.TotalAirNs += int64(dur)
+	src.sending = true
+
+	// Carrier-sense rising edges at every other node that can hear it.
+	csMw := m.cfg.CSThreshold.MilliWatt()
+	for _, n := range m.nodes {
+		if n == src {
+			continue
+		}
+		if m.rxPowerMw(src, n) >= csMw {
+			n.busyCount++
+			if n.busyCount == 1 && n.listener != nil {
+				n.listener.ChannelBusy(now)
+			}
+		}
+	}
+
+	tx.endEv = m.sched.ScheduleNamed("phy.txEnd", dur, func(end event.Time) { m.endTx(tx, end) })
+
+	// Instant collision detection (ablation / Section V-B multi-antenna
+	// regime): everything involved in the overlap stops shortly after the
+	// overlap begins.
+	if m.cfg.AbortOverlapAfter > 0 && len(tx.interferers) > 0 {
+		cutoff := now + event.Time(m.cfg.AbortOverlapAfter)
+		m.truncate(tx, cutoff)
+		for _, other := range tx.interferers {
+			m.truncate(other, cutoff)
+		}
+	}
+	return tx
+}
+
+// truncate cuts a transmission short at the given instant (no-op if it
+// already ends sooner) and marks it aborted.
+func (m *Medium) truncate(tx *Tx, at event.Time) {
+	if at >= tx.End {
+		return
+	}
+	m.sched.Cancel(tx.endEv)
+	m.TotalAirNs -= int64(tx.End - at)
+	tx.End = at
+	tx.aborted = true
+	tx.endEv = m.sched.ScheduleNamed("phy.txAbort", at-m.sched.Now(),
+		func(end event.Time) { m.endTx(tx, end) })
+}
+
+func (m *Medium) endTx(tx *Tx, now event.Time) {
+	// Remove from the active set.
+	for i, a := range m.active {
+		if a == tx {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	tx.Src.sending = false
+
+	// Deliver reception verdicts before idle notifications so that MAC
+	// reactions to the frame (e.g. scheduling a SIFS) observe a consistent
+	// pre-idle state, then drop carrier sense.
+	csMw := m.cfg.CSThreshold.MilliWatt()
+	type pending struct {
+		n  *Node
+		ok bool
+	}
+	var deliveries []pending
+	for _, n := range m.nodes {
+		if n == tx.Src || n.listener == nil {
+			continue
+		}
+		deliveries = append(deliveries, pending{n, m.decodes(tx, n)})
+	}
+	for _, d := range deliveries {
+		d.n.listener.FrameEnd(tx, d.ok, now)
+	}
+	if tx.Src.listener != nil {
+		tx.Src.listener.TxDone(tx, now)
+	}
+	for _, n := range m.nodes {
+		if n == tx.Src {
+			continue
+		}
+		if m.rxPowerMw(tx.Src, n) >= csMw {
+			n.busyCount--
+			if n.busyCount == 0 && n.listener != nil {
+				n.listener.ChannelIdle(now)
+			}
+		}
+	}
+}
+
+// decodes reports whether tx decodes successfully at node n: the node was
+// not itself transmitting for any part of the frame, the received power
+// clears the noise-limited SINR threshold, and the worst-case concurrent
+// interference keeps SINR at or above the rate's minimum.
+func (m *Medium) decodes(tx *Tx, n *Node) bool {
+	if tx.aborted {
+		return false
+	}
+	sigMw := m.rxPowerMw(tx.Src, n)
+	noiseMw := m.cfg.NoiseFloor.MilliWatt()
+	need := tx.Rate.MinSINR().Ratio()
+	if sigMw/noiseMw < need {
+		return false
+	}
+	// A half-duplex radio that transmitted during any part of the frame
+	// cannot have received it.
+	for _, itx := range tx.interferers {
+		if itx.Src == n {
+			return false
+		}
+	}
+	worst := m.maxInterferenceMw(tx, n)
+	if sigMw/(noiseMw+worst) < need {
+		return false
+	}
+	if m.lossRand != nil && m.lossRand.Float64() < m.cfg.FrameLossProb {
+		return false
+	}
+	return true
+}
+
+// maxInterferenceMw returns the maximum total interference power (mW) at
+// node n from transmissions overlapping tx, maximized over the duration of
+// tx (a sweep over interferer start/end points).
+func (m *Medium) maxInterferenceMw(tx *Tx, n *Node) float64 {
+	if len(tx.interferers) == 0 {
+		return 0
+	}
+	// Collect the candidate evaluation instants: tx.Start and every
+	// interferer start clipped into [tx.Start, tx.End).
+	points := make([]event.Time, 0, len(tx.interferers)+1)
+	points = append(points, tx.Start)
+	for _, itx := range tx.interferers {
+		if itx.Start > tx.Start && itx.Start < tx.End {
+			points = append(points, itx.Start)
+		}
+	}
+	var worst float64
+	for _, p := range points {
+		var sum float64
+		for _, itx := range tx.interferers {
+			if itx.Start <= p && p < itx.End && itx.Src != n {
+				sum += m.rxPowerMw(itx.Src, n)
+			}
+		}
+		if sum > worst {
+			worst = sum
+		}
+	}
+	return worst
+}
+
+// ActiveCount returns the number of transmissions currently on the air.
+func (m *Medium) ActiveCount() int { return len(m.active) }

@@ -1,0 +1,399 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/event"
+)
+
+func TestDBmRoundTrip(t *testing.T) {
+	for _, p := range []DBm{-94, -62, 0, 16.0206, 30} {
+		mw := p.MilliWatt()
+		back := DBmFromMilliWatt(mw)
+		if math.Abs(float64(back-p)) > 1e-9 {
+			t.Errorf("round trip %v -> %v", p, back)
+		}
+	}
+}
+
+func TestDBmZeroPower(t *testing.T) {
+	if !math.IsInf(float64(DBmFromMilliWatt(0)), -1) {
+		t.Fatal("0 mW should be -Inf dBm")
+	}
+}
+
+func TestDBRatio(t *testing.T) {
+	if got := DB(10).Ratio(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("10 dB ratio = %v", got)
+	}
+	if got := DB(3).Ratio(); math.Abs(got-1.9952623) > 1e-6 {
+		t.Errorf("3 dB ratio = %v", got)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	d := Position{0, 0}.DistanceTo(Position{3, 4})
+	if d != 5 {
+		t.Fatalf("distance = %v", d)
+	}
+}
+
+func TestFrameDuration54(t *testing.T) {
+	// 128 B PSDU at 54 Mbps: 16+1024+6 = 1046 bits, ceil(1046/216) = 5
+	// symbols -> 20 us + 20 us preamble = 40 us total.
+	if got := FrameDuration(Rate54Mbps, 128); got != 40*time.Microsecond {
+		t.Fatalf("FrameDuration(54, 128B) = %v", got)
+	}
+	if got := PayloadDuration(Rate54Mbps, 128); got != 20*time.Microsecond {
+		t.Fatalf("PayloadDuration(54, 128B) = %v", got)
+	}
+}
+
+func TestFrameDurationAck(t *testing.T) {
+	// 14 B ACK at 24 Mbps: 16+112+6 = 134 bits, ceil(134/96) = 2 symbols.
+	if got := FrameDuration(Rate24Mbps, 14); got != 28*time.Microsecond {
+		t.Fatalf("ack duration = %v", got)
+	}
+}
+
+func TestFrameDurationMonotonicInBytes(t *testing.T) {
+	err := quick.Check(func(a, b uint16) bool {
+		x, y := int(a%4096), int(b%4096)
+		if x > y {
+			x, y = y, x
+		}
+		return FrameDuration(Rate54Mbps, x) <= FrameDuration(Rate54Mbps, y)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameDurationFasterRateShorter(t *testing.T) {
+	for bytes := 64; bytes <= 2048; bytes *= 2 {
+		if FrameDuration(Rate54Mbps, bytes) > FrameDuration(Rate6Mbps, bytes) {
+			t.Fatalf("54 Mbps slower than 6 Mbps at %d bytes", bytes)
+		}
+	}
+}
+
+func TestLogDistanceLoss(t *testing.T) {
+	m := NewLogDistance()
+	if got := m.Loss(1); got != 46.6777 {
+		t.Fatalf("loss at 1 m = %v", got)
+	}
+	// 10 m: 46.6777 + 30 dB.
+	if got := m.Loss(10); math.Abs(float64(got)-76.6777) > 1e-9 {
+		t.Fatalf("loss at 10 m = %v", got)
+	}
+	// Below reference distance clamps.
+	if got := m.Loss(0.1); got != 46.6777 {
+		t.Fatalf("loss at 0.1 m = %v", got)
+	}
+}
+
+func TestLogDistanceMonotone(t *testing.T) {
+	m := NewLogDistance()
+	err := quick.Check(func(a, b uint16) bool {
+		x, y := 1+float64(a%1000)/10, 1+float64(b%1000)/10
+		if x > y {
+			x, y = y, x
+		}
+		return m.Loss(x) <= m.Loss(y)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridLayout(t *testing.T) {
+	ps := StationGrid(45)
+	if ps[0] != (Position{0, 0}) {
+		t.Fatalf("first station at %v", ps[0])
+	}
+	if ps[39] != (Position{39, 0}) {
+		t.Fatalf("station 39 at %v", ps[39])
+	}
+	if ps[40] != (Position{0, 1}) {
+		t.Fatalf("station 40 at %v (row wrap)", ps[40])
+	}
+	ap := APPosition()
+	if ap != (Position{20, 20}) {
+		t.Fatalf("AP at %v", ap)
+	}
+}
+
+// TestGridNoCapture verifies the geometric fact the whole reproduction rests
+// on: inside the paper's grid, the worst-case receive-power spread between
+// any two of the first 150 stations (as heard by the AP) is far below the
+// 54 Mbps SINR threshold, so no overlapping transmission can capture.
+func TestGridNoCapture(t *testing.T) {
+	cfg := DefaultConfig()
+	ap := APPosition()
+	ps := StationGrid(150)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range ps {
+		rx := float64(RxPower(cfg.TxPower, cfg.PathLoss, p.DistanceTo(ap)))
+		lo = math.Min(lo, rx)
+		hi = math.Max(hi, rx)
+	}
+	spread := hi - lo
+	if spread >= float64(Rate54Mbps.MinSINR()) {
+		t.Fatalf("power spread %.1f dB >= capture threshold %v dB; paper's no-capture regime violated", spread, Rate54Mbps.MinSINR())
+	}
+	// And every clean frame decodes: SNR at the farthest station must clear
+	// the threshold.
+	snr := lo - float64(cfg.NoiseFloor)
+	if snr < float64(Rate54Mbps.MinSINR()) {
+		t.Fatalf("clean-channel SNR %.1f dB below 54 Mbps threshold", snr)
+	}
+}
+
+// testListener records channel callbacks.
+type testListener struct {
+	busy, idle int
+	frames     []bool
+	lastTx     *Tx
+}
+
+func (l *testListener) ChannelBusy(event.Time) { l.busy++ }
+func (l *testListener) ChannelIdle(event.Time) { l.idle++ }
+func (l *testListener) FrameEnd(tx *Tx, ok bool, _ event.Time) {
+	l.frames = append(l.frames, ok)
+	l.lastTx = tx
+}
+func (l *testListener) TxDone(*Tx, event.Time) {}
+
+func newTestMedium() (*event.Scheduler, *Medium) {
+	sched := &event.Scheduler{}
+	return sched, NewMedium(sched, DefaultConfig())
+}
+
+func TestSingleFrameDecodes(t *testing.T) {
+	sched, m := newTestMedium()
+	apL := &testListener{}
+	ap := m.AddNode(APPosition(), apL)
+	stL := &testListener{}
+	st := m.AddNode(Position{0, 0}, stL)
+	_ = ap
+
+	m.Transmit(st, Rate54Mbps, 128, "data")
+	sched.Run(0)
+
+	if len(apL.frames) != 1 || !apL.frames[0] {
+		t.Fatalf("AP frames = %v, want one success", apL.frames)
+	}
+	if apL.busy != 1 || apL.idle != 1 {
+		t.Fatalf("AP busy/idle = %d/%d, want 1/1", apL.busy, apL.idle)
+	}
+}
+
+func TestOverlappingFramesCollide(t *testing.T) {
+	sched, m := newTestMedium()
+	apL := &testListener{}
+	m.AddNode(APPosition(), apL)
+	var sts []*Node
+	for _, p := range StationGrid(2) {
+		sts = append(sts, m.AddNode(p, &testListener{}))
+	}
+
+	m.Transmit(sts[0], Rate54Mbps, 128, "a")
+	m.Transmit(sts[1], Rate54Mbps, 128, "b")
+	sched.Run(0)
+
+	if len(apL.frames) != 2 {
+		t.Fatalf("AP saw %d frames", len(apL.frames))
+	}
+	for i, ok := range apL.frames {
+		if ok {
+			t.Errorf("frame %d decoded despite collision", i)
+		}
+	}
+}
+
+func TestPartialOverlapCollides(t *testing.T) {
+	sched, m := newTestMedium()
+	apL := &testListener{}
+	m.AddNode(APPosition(), apL)
+	sts := []*Node{}
+	for _, p := range StationGrid(2) {
+		sts = append(sts, m.AddNode(p, &testListener{}))
+	}
+	m.Transmit(sts[0], Rate54Mbps, 1088, "long")
+	sched.Schedule(10*time.Microsecond, func(event.Time) {
+		m.Transmit(sts[1], Rate54Mbps, 128, "short")
+	})
+	sched.Run(0)
+	for i, ok := range apL.frames {
+		if ok {
+			t.Errorf("frame %d decoded despite partial overlap", i)
+		}
+	}
+}
+
+func TestSequentialFramesBothDecode(t *testing.T) {
+	sched, m := newTestMedium()
+	apL := &testListener{}
+	m.AddNode(APPosition(), apL)
+	sts := []*Node{}
+	for _, p := range StationGrid(2) {
+		sts = append(sts, m.AddNode(p, &testListener{}))
+	}
+	m.Transmit(sts[0], Rate54Mbps, 128, "a")
+	sched.Schedule(FrameDuration(Rate54Mbps, 128), func(event.Time) {
+		m.Transmit(sts[1], Rate54Mbps, 128, "b")
+	})
+	sched.Run(0)
+	if len(apL.frames) != 2 || !apL.frames[0] || !apL.frames[1] {
+		t.Fatalf("sequential frames = %v, want both ok", apL.frames)
+	}
+}
+
+func TestHalfDuplexCannotReceiveWhileSending(t *testing.T) {
+	sched, m := newTestMedium()
+	l0, l1 := &testListener{}, &testListener{}
+	n0 := m.AddNode(Position{0, 0}, l0)
+	n1 := m.AddNode(Position{1, 0}, l1)
+
+	m.Transmit(n0, Rate54Mbps, 128, "a")
+	m.Transmit(n1, Rate54Mbps, 128, "b")
+	sched.Run(0)
+
+	// Each node heard exactly the other's frame, and must NOT decode it
+	// (it was transmitting at the time).
+	if len(l0.frames) != 1 || l0.frames[0] {
+		t.Fatalf("n0 frames = %v", l0.frames)
+	}
+	if len(l1.frames) != 1 || l1.frames[0] {
+		t.Fatalf("n1 frames = %v", l1.frames)
+	}
+}
+
+func TestCarrierSenseTracksOverlap(t *testing.T) {
+	sched, m := newTestMedium()
+	obs := &testListener{}
+	m.AddNode(APPosition(), obs)
+	sts := []*Node{}
+	for _, p := range StationGrid(2) {
+		sts = append(sts, m.AddNode(p, &testListener{}))
+	}
+	// Two overlapping frames: the observer should see one busy period.
+	m.Transmit(sts[0], Rate54Mbps, 1088, "long")
+	sched.Schedule(5*time.Microsecond, func(event.Time) {
+		m.Transmit(sts[1], Rate54Mbps, 128, "short")
+	})
+	sched.Run(0)
+	if obs.busy != 1 || obs.idle != 1 {
+		t.Fatalf("busy/idle = %d/%d, want 1/1 for overlapping frames", obs.busy, obs.idle)
+	}
+}
+
+func TestNodeBusyFlag(t *testing.T) {
+	sched, m := newTestMedium()
+	obsL := &testListener{}
+	obs := m.AddNode(APPosition(), obsL)
+	st := m.AddNode(Position{0, 0}, &testListener{})
+
+	m.Transmit(st, Rate54Mbps, 128, "x")
+	if !obs.Busy() {
+		t.Fatal("observer not busy during transmission")
+	}
+	sched.Run(0)
+	if obs.Busy() {
+		t.Fatal("observer still busy after transmission ended")
+	}
+}
+
+func TestDoubleTransmitPanics(t *testing.T) {
+	_, m := newTestMedium()
+	st := m.AddNode(Position{0, 0}, &testListener{})
+	m.AddNode(APPosition(), &testListener{})
+	m.Transmit(st, Rate54Mbps, 128, "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("concurrent transmit from one node did not panic")
+		}
+	}()
+	m.Transmit(st, Rate54Mbps, 128, "y")
+}
+
+func TestCaptureUnderNearFarLayout(t *testing.T) {
+	// Sanity check of the ablation geometry: with one station very close to
+	// the AP and one far away, the close station's frame survives overlap.
+	sched := &event.Scheduler{}
+	m := NewMedium(sched, DefaultConfig())
+	apL := &testListener{}
+	m.AddNode(APPosition(), apL)
+	ps := NearFarLayout(12)
+	near := m.AddNode(ps[0], &testListener{}) // 1 m from AP
+	far := m.AddNode(ps[11], &testListener{}) // ~40 m away
+
+	m.Transmit(near, Rate54Mbps, 128, "near")
+	m.Transmit(far, Rate54Mbps, 128, "far")
+	sched.Run(0)
+
+	ok := map[string]bool{}
+	// Frames arrive in FrameEnd order; match via lastTx not needed — both
+	// same length, inspect Data.
+	// Re-run with explicit bookkeeping instead:
+	sched2 := &event.Scheduler{}
+	m2 := NewMedium(sched2, DefaultConfig())
+	res := &captureListener{ok: ok}
+	m2.AddNode(APPosition(), res)
+	n1 := m2.AddNode(ps[0], &testListener{})
+	n2 := m2.AddNode(ps[11], &testListener{})
+	m2.Transmit(n1, Rate54Mbps, 128, "near")
+	m2.Transmit(n2, Rate54Mbps, 128, "far")
+	sched2.Run(0)
+
+	if !ok["near"] {
+		t.Fatal("near station should capture over a distant interferer")
+	}
+	if ok["far"] {
+		t.Fatal("far station should be drowned by the near interferer")
+	}
+}
+
+type captureListener struct{ ok map[string]bool }
+
+func (l *captureListener) ChannelBusy(event.Time) {}
+func (l *captureListener) ChannelIdle(event.Time) {}
+func (l *captureListener) FrameEnd(tx *Tx, ok bool, _ event.Time) {
+	l.ok[tx.Data.(string)] = ok
+}
+func (l *captureListener) TxDone(*Tx, event.Time) {}
+
+func TestMediumStats(t *testing.T) {
+	sched, m := newTestMedium()
+	m.AddNode(APPosition(), &testListener{})
+	sts := []*Node{}
+	for _, p := range StationGrid(3) {
+		sts = append(sts, m.AddNode(p, &testListener{}))
+	}
+	for _, s := range sts {
+		m.Transmit(s, Rate54Mbps, 128, nil)
+	}
+	sched.Run(0)
+	if m.TotalTx != 3 {
+		t.Fatalf("TotalTx = %d", m.TotalTx)
+	}
+	if m.PeakOverlap != 3 {
+		t.Fatalf("PeakOverlap = %d", m.PeakOverlap)
+	}
+	if m.ActiveCount() != 0 {
+		t.Fatalf("ActiveCount = %d after drain", m.ActiveCount())
+	}
+}
+
+func TestRxPowerSymmetric(t *testing.T) {
+	sched := &event.Scheduler{}
+	m := NewMedium(sched, DefaultConfig())
+	a := m.AddNode(Position{0, 0}, &testListener{})
+	b := m.AddNode(Position{17, 3}, &testListener{})
+	if pab, pba := m.RxPower(a, b), m.RxPower(b, a); pab != pba {
+		t.Fatalf("asymmetric link: %v vs %v", pab, pba)
+	}
+}

@@ -1,0 +1,268 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical outputs of 100", same)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	var or uint64
+	for i := 0; i < 100; i++ {
+		or |= r.Uint64()
+	}
+	if or == 0 {
+		t.Fatal("seed 0 generator stuck at zero")
+	}
+}
+
+func TestDeriveIndependentOfOrder(t *testing.T) {
+	base := New(7)
+	x1 := base.Derive("x").Uint64()
+	y1 := base.Derive("y").Uint64()
+
+	base2 := New(7)
+	y2 := base2.Derive("y").Uint64()
+	x2 := base2.Derive("x").Uint64()
+
+	if x1 != x2 || y1 != y2 {
+		t.Fatalf("derivation depends on order: x %d/%d y %d/%d", x1, x2, y1, y2)
+	}
+}
+
+func TestDeriveDistinctLabels(t *testing.T) {
+	base := New(7)
+	if base.Derive("a").Uint64() == base.Derive("b").Uint64() {
+		t.Fatal("labels a and b derived identical streams")
+	}
+}
+
+func TestDeriveSeedMatchesLabeling(t *testing.T) {
+	s1 := DeriveSeed(99, "trial-3")
+	s2 := DeriveSeed(99, "trial-3")
+	s3 := DeriveSeed(99, "trial-4")
+	if s1 != s2 {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	if s1 == s3 {
+		t.Fatal("DeriveSeed ignored label")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(11)
+	err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(123)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d too far from %v", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(6)
+	sum := 0.0
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(9)
+	const p, trials = 0.3, 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) rate %v", p, got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(10)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(12)
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed contents: sum %d != %d", got, sum)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const trials = 200000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance %v", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(14)
+	const trials = 200000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / trials; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean %v", mean)
+	}
+}
+
+func TestInt63nRange(t *testing.T) {
+	r := New(15)
+	for i := 0; i < 10000; i++ {
+		v := r.Int63n(1 << 40)
+		if v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(16)
+	for i := 0; i < 10000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Intn(1024)
+	}
+	_ = sink
+}

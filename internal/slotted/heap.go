@@ -1,0 +1,60 @@
+package slotted
+
+// attempt is a scheduled transmission attempt in the unaligned model.
+type attempt struct {
+	slot int
+	id   int
+}
+
+// attemptHeap is a plain binary min-heap on attempt.slot, with id as the
+// tiebreaker only for determinism of pop order (multiplicity in a slot is
+// what matters, not order).
+type attemptHeap struct {
+	a []attempt
+}
+
+func (h *attemptHeap) len() int      { return len(h.a) }
+func (h *attemptHeap) peek() attempt { return h.a[0] }
+
+func (h *attemptHeap) less(i, j int) bool {
+	if h.a[i].slot != h.a[j].slot {
+		return h.a[i].slot < h.a[j].slot
+	}
+	return h.a[i].id < h.a[j].id
+}
+
+func (h *attemptHeap) push(x attempt) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+func (h *attemptHeap) pop() attempt {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.a) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.a) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		h.a[i], h.a[smallest] = h.a[smallest], h.a[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,81 @@
+package slotted
+
+import (
+	"repro/internal/rng"
+)
+
+// RunTreeBatch resolves a single batch of n packets with the classic binary
+// tree-splitting algorithm (Capetanakis 1979; reference [25] of the paper):
+// the whole batch transmits, and every collision splits its participants by
+// independent fair coin flips into two subgroups resolved depth-first. The
+// expected makespan is ~2.885·n slots.
+//
+// Tree algorithms consume one unit of ternary feedback (idle/success/
+// collision) per slot, so under the paper's cost lens every one of their
+// Θ(n) collisions is as expensive as a windowed algorithm's — they optimize
+// the same mis-priced metric. Included as the non-backoff baseline.
+func RunTreeBatch(n int, g *rng.Source) Result {
+	if n < 1 {
+		panic("slotted: RunTreeBatch needs n >= 1")
+	}
+	res := Result{N: n, FinishSlots: make([]int, n)}
+	attempts := make([]int, n)
+
+	// The resolution stack holds packet groups awaiting their slot;
+	// depth-first order matches the recursive definition.
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	stack := [][]int{all}
+	slot := 0
+	finished := 0
+	half := (n + 1) / 2
+
+	for len(stack) > 0 {
+		group := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		slot++
+		res.Windows++ // each tree node is its own single-slot "window"
+
+		for _, pkt := range group {
+			attempts[pkt]++
+			res.Attempts++
+		}
+		switch len(group) {
+		case 0:
+			// Idle slot.
+		case 1:
+			res.SingletonSlots++
+			res.FinishSlots[group[0]] = slot
+			finished++
+			if finished == half && res.HalfSlots == 0 {
+				res.HalfSlots = slot
+				res.CollisionsAtHalf = res.Collisions
+			}
+		default:
+			res.Collisions++
+			var left, right []int
+			for _, pkt := range group {
+				if g.Bernoulli(0.5) {
+					left = append(left, pkt)
+				} else {
+					right = append(right, pkt)
+				}
+			}
+			// Depth-first: resolve left before right.
+			stack = append(stack, right, left)
+		}
+	}
+
+	// The tree occupies the channel until its stack drains (trailing empty
+	// right-subtree slots included), so the makespan is the full slot count.
+	res.CWSlots = slot
+	res.EmptySlots = res.CWSlots - res.SingletonSlots - res.Collisions
+	for _, a := range attempts {
+		if a > res.MaxAttemptsPerPacket {
+			res.MaxAttemptsPerPacket = a
+		}
+	}
+	return res
+}

@@ -1,0 +1,175 @@
+// Package trace records per-station MAC events and renders them as the
+// paper's Figure 13: one row per station, thick marks for transmissions and
+// thin marks for ACK timeouts, over simulated time.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/mac"
+)
+
+// EventKind classifies a recorded trace event.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EventTx EventKind = iota
+	EventSuccess
+	EventAckTimeout
+)
+
+// Event is one recorded MAC event.
+type Event struct {
+	Station int // APIndex (-1) for the access point
+	Kind    EventKind
+	Frame   string // frame kind name for EventTx
+	Start   time.Duration
+	End     time.Duration // == Start for point events
+}
+
+// Recorder implements mac.Tracer by appending events to memory.
+type Recorder struct {
+	Events []Event
+}
+
+// TxStart implements mac.Tracer.
+func (r *Recorder) TxStart(station int, kind mac.FrameKind, start, end time.Duration) {
+	r.Events = append(r.Events, Event{Station: station, Kind: EventTx, Frame: kind.String(), Start: start, End: end})
+}
+
+var _ mac.Tracer = (*Recorder)(nil)
+
+// Success implements mac.Tracer.
+func (r *Recorder) Success(station int, at time.Duration) {
+	r.Events = append(r.Events, Event{Station: station, Kind: EventSuccess, Start: at, End: at})
+}
+
+// AckTimeout implements mac.Tracer.
+func (r *Recorder) AckTimeout(station int, at time.Duration) {
+	r.Events = append(r.Events, Event{Station: station, Kind: EventAckTimeout, Start: at, End: at})
+}
+
+// Stations returns the sorted set of station indices with recorded events,
+// excluding the AP.
+func (r *Recorder) Stations() []int {
+	seen := map[int]bool{}
+	for _, e := range r.Events {
+		if e.Station >= 0 {
+			seen[e.Station] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Span returns the time range covered by the recorded events.
+func (r *Recorder) Span() (start, end time.Duration) {
+	for i, e := range r.Events {
+		if i == 0 || e.Start < start {
+			start = e.Start
+		}
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return start, end
+}
+
+// RenderOptions controls timeline rendering.
+type RenderOptions struct {
+	// Width is the number of character columns for the time axis.
+	Width int
+	// ShowAP includes the access point's row (ACK/CTS transmissions).
+	ShowAP bool
+}
+
+// Render writes an ASCII timeline in the style of Figure 13: per-station
+// rows where '█' marks the station's own transmissions, 'x' the instant an
+// ACK timeout fired, and '*' the success.
+func (r *Recorder) Render(w io.Writer, opt RenderOptions) error {
+	width := opt.Width
+	if width <= 0 {
+		width = 100
+	}
+	_, end := r.Span()
+	if end == 0 {
+		_, err := fmt.Fprintln(w, "(no events)")
+		return err
+	}
+	scale := func(t time.Duration) int {
+		c := int(int64(t) * int64(width-1) / int64(end))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	rows := r.Stations()
+	if opt.ShowAP {
+		rows = append([]int{-1}, rows...)
+	}
+	for _, st := range rows {
+		line := make([]rune, width)
+		for i := range line {
+			line[i] = '·'
+		}
+		for _, e := range r.Events {
+			if e.Station != st {
+				continue
+			}
+			switch e.Kind {
+			case EventTx:
+				for c := scale(e.Start); c <= scale(e.End); c++ {
+					line[c] = '█'
+				}
+			case EventAckTimeout:
+				c := scale(e.Start)
+				if line[c] == '·' {
+					line[c] = 'x'
+				}
+			case EventSuccess:
+				c := scale(e.Start)
+				if line[c] == '·' {
+					line[c] = '*'
+				}
+			}
+		}
+		name := fmt.Sprintf("st%02d", st)
+		if st < 0 {
+			name = "AP  "
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", name, string(line)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "     0%s%v\n", strings.Repeat(" ", width-len(fmt.Sprint(end))), end)
+	return err
+}
+
+// WriteCSV dumps the raw events for external plotting.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "station,kind,frame,start_us,end_us"); err != nil {
+		return err
+	}
+	kinds := map[EventKind]string{EventTx: "tx", EventSuccess: "success", EventAckTimeout: "ack_timeout"}
+	for _, e := range r.Events {
+		_, err := fmt.Fprintf(w, "%d,%s,%s,%.3f,%.3f\n", e.Station, kinds[e.Kind], e.Frame,
+			float64(e.Start)/float64(time.Microsecond), float64(e.End)/float64(time.Microsecond))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

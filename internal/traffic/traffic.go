@@ -1,0 +1,140 @@
+// Package traffic generates packet-arrival processes for the continuous-
+// traffic experiments. The paper's evaluation is a single batch (its
+// strongest case against BEB), but its related-work section frames backoff
+// under Poisson and self-similar/bursty arrivals, and its concluding
+// remarks ask how the collision-cost tradeoff behaves under "long-lived
+// bursty traffic" — these processes drive that extension.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Process draws successive inter-arrival gaps for one station's packet
+// stream. Implementations are stateless with respect to the generator:
+// every draw uses the passed source.
+type Process interface {
+	// Name identifies the process in experiment output.
+	Name() string
+	// NextGap returns the time until the next arrival (>= 0).
+	NextGap(g *rng.Source) time.Duration
+}
+
+// poisson emits exponentially distributed gaps: rate packets per second.
+type poisson struct {
+	rate float64
+}
+
+// NewPoisson returns a Poisson arrival process with the given mean rate in
+// packets per second. It panics on a non-positive rate.
+func NewPoisson(rate float64) Process {
+	if rate <= 0 {
+		panic("traffic: Poisson rate must be positive")
+	}
+	return poisson{rate: rate}
+}
+
+func (p poisson) Name() string { return fmt.Sprintf("poisson(%g/s)", p.rate) }
+
+func (p poisson) NextGap(g *rng.Source) time.Duration {
+	return time.Duration(g.ExpFloat64() / p.rate * float64(time.Second))
+}
+
+// periodic emits a constant gap.
+type periodic struct {
+	gap time.Duration
+}
+
+// NewPeriodic returns a deterministic arrival process with one packet per
+// interval. It panics on a non-positive interval.
+func NewPeriodic(interval time.Duration) Process {
+	if interval <= 0 {
+		panic("traffic: periodic interval must be positive")
+	}
+	return periodic{gap: interval}
+}
+
+func (p periodic) Name() string { return fmt.Sprintf("periodic(%v)", p.gap) }
+
+func (p periodic) NextGap(*rng.Source) time.Duration { return p.gap }
+
+// saturated emits zero gaps: the station always has the next packet queued,
+// the classic saturation assumption of throughput analyses (Bianchi).
+type saturated struct{}
+
+// NewSaturated returns the saturation process: a new packet is available
+// the instant the previous one is delivered.
+func NewSaturated() Process { return saturated{} }
+
+func (saturated) Name() string { return "saturated" }
+
+func (saturated) NextGap(*rng.Source) time.Duration { return 0 }
+
+// paretoBursts emits bursty, heavy-tailed traffic: bursts of geometrically
+// many back-to-back packets separated by Pareto-distributed quiet gaps.
+// Aggregating many such on/off sources is the standard construction of
+// self-similar traffic (the workload surveyed in the paper's references on
+// bursty WLAN behaviour).
+type paretoBursts struct {
+	alpha    float64       // Pareto shape of the quiet gap (1 < alpha <= 2)
+	minGap   time.Duration // Pareto scale: minimum quiet gap
+	meanSize float64       // mean packets per burst
+}
+
+// NewParetoBursts returns a bursty on/off process: each burst holds a
+// geometric number of packets (mean meanSize) arriving back-to-back, and
+// quiet periods follow a Pareto(alpha, minGap) law — infinite variance for
+// alpha <= 2, which is what makes the aggregate self-similar.
+func NewParetoBursts(alpha float64, minGap time.Duration, meanSize float64) Process {
+	if alpha <= 1 {
+		panic("traffic: Pareto shape must exceed 1 (finite mean)")
+	}
+	if minGap <= 0 || meanSize < 1 {
+		panic("traffic: need positive minGap and meanSize >= 1")
+	}
+	return &paretoBursts{alpha: alpha, minGap: minGap, meanSize: meanSize}
+}
+
+func (p *paretoBursts) Name() string {
+	return fmt.Sprintf("pareto(α=%g, gap>=%v, burst~%g)", p.alpha, p.minGap, p.meanSize)
+}
+
+func (p *paretoBursts) NextGap(g *rng.Source) time.Duration {
+	// Continue the current burst with probability 1 - 1/meanSize.
+	if g.Float64() > 1/p.meanSize {
+		return 0
+	}
+	// Otherwise draw a Pareto quiet gap: minGap / U^(1/alpha).
+	u := g.Float64()
+	for u == 0 {
+		u = g.Float64()
+	}
+	gap := float64(p.minGap) / math.Pow(u, 1/p.alpha)
+	const maxGap = float64(10 * time.Second)
+	if gap > maxGap {
+		gap = maxGap // clamp the infinite-variance tail to the horizon scale
+	}
+	return time.Duration(gap)
+}
+
+// Arrivals materializes a station's arrival times from t=0 up to horizon.
+// The first arrival occurs after one gap (except for the saturated process,
+// which arrives immediately and continuously — callers should special-case
+// it via queue refill instead; Arrivals caps it at cap arrivals).
+func Arrivals(p Process, horizon time.Duration, capN int, g *rng.Source) []time.Duration {
+	var out []time.Duration
+	t := time.Duration(0)
+	for len(out) < capN {
+		gap := p.NextGap(g)
+		t += gap
+		if t > horizon {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestPoissonMeanGap(t *testing.T) {
+	g := rng.New(1)
+	p := NewPoisson(1000) // 1000 pkts/s -> mean gap 1 ms
+	const trials = 50000
+	var sum time.Duration
+	for i := 0; i < trials; i++ {
+		sum += p.NextGap(g)
+	}
+	mean := float64(sum) / trials / float64(time.Millisecond)
+	if math.Abs(mean-1) > 0.05 {
+		t.Fatalf("Poisson mean gap %.3f ms, want ~1 ms", mean)
+	}
+}
+
+func TestPoissonPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPoisson(0)
+}
+
+func TestPeriodicConstant(t *testing.T) {
+	g := rng.New(2)
+	p := NewPeriodic(5 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		if gap := p.NextGap(g); gap != 5*time.Millisecond {
+			t.Fatalf("periodic gap %v", gap)
+		}
+	}
+}
+
+func TestPeriodicPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPeriodic(0)
+}
+
+func TestSaturatedZeroGaps(t *testing.T) {
+	g := rng.New(3)
+	p := NewSaturated()
+	for i := 0; i < 10; i++ {
+		if p.NextGap(g) != 0 {
+			t.Fatal("saturated gap not zero")
+		}
+	}
+}
+
+func TestParetoBurstsShape(t *testing.T) {
+	g := rng.New(4)
+	p := NewParetoBursts(1.5, time.Millisecond, 5)
+	zero, quiet := 0, 0
+	var minQuiet time.Duration = 1 << 60
+	for i := 0; i < 20000; i++ {
+		gap := p.NextGap(g)
+		if gap == 0 {
+			zero++
+		} else {
+			quiet++
+			if gap < minQuiet {
+				minQuiet = gap
+			}
+		}
+	}
+	// Mean burst size 5 -> ~80% of gaps are zero.
+	frac := float64(zero) / float64(zero+quiet)
+	if math.Abs(frac-0.8) > 0.02 {
+		t.Fatalf("in-burst fraction %.3f, want ~0.8", frac)
+	}
+	if minQuiet < time.Millisecond {
+		t.Fatalf("quiet gap %v below the Pareto scale", minQuiet)
+	}
+}
+
+func TestParetoBurstsPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"alpha": func() { NewParetoBursts(1, time.Millisecond, 5) },
+		"gap":   func() { NewParetoBursts(1.5, 0, 5) },
+		"size":  func() { NewParetoBursts(1.5, time.Millisecond, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestArrivalsWithinHorizon(t *testing.T) {
+	g := rng.New(5)
+	horizon := 100 * time.Millisecond
+	as := Arrivals(NewPoisson(2000), horizon, 10000, g)
+	if len(as) == 0 {
+		t.Fatal("no arrivals over 100 ms at 2000/s")
+	}
+	prev := time.Duration(-1)
+	for _, a := range as {
+		if a > horizon {
+			t.Fatalf("arrival %v beyond horizon", a)
+		}
+		if a < prev {
+			t.Fatalf("arrivals out of order: %v after %v", a, prev)
+		}
+		prev = a
+	}
+	// Expect about 200 arrivals.
+	if len(as) < 120 || len(as) > 300 {
+		t.Fatalf("%d arrivals, expected ~200", len(as))
+	}
+}
+
+func TestArrivalsCap(t *testing.T) {
+	g := rng.New(6)
+	as := Arrivals(NewSaturated(), time.Second, 17, g)
+	if len(as) != 17 {
+		t.Fatalf("saturated arrivals = %d, want cap 17", len(as))
+	}
+	for _, a := range as {
+		if a != 0 {
+			t.Fatalf("saturated arrival at %v, want 0", a)
+		}
+	}
+}
+
+func TestProcessNames(t *testing.T) {
+	g := rng.New(7)
+	_ = g
+	for _, p := range []Process{
+		NewPoisson(100), NewPeriodic(time.Millisecond), NewSaturated(),
+		NewParetoBursts(1.5, time.Millisecond, 4),
+	} {
+		if p.Name() == "" {
+			t.Fatal("empty process name")
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package repro is the public API of the reproduction of Anderton & Young,
+// "Is Our Model for Contention Resolution Wrong? Confronting the Cost of
+// Collisions" (SPAA 2017).
+//
+// It exposes the paper's two channel models behind one façade:
+//
+//   - the abstract slotted model (assumptions A0–A2 of the algorithmic
+//     literature), where a collision costs one slot, and
+//   - a from-scratch IEEE 802.11g DCF simulator, where a collision costs a
+//     full transmission plus an ACK timeout — the mis-priced cost the paper
+//     identifies.
+//
+// Run the same single-batch workload on both and the paper's headline
+// reversal appears: algorithms that beat binary exponential backoff on
+// contention-window slots lose to it on total time.
+//
+//	res, _ := repro.RunWiFiBatch(100, repro.BEB, repro.WithSeed(1))
+//	fmt.Println(res.TotalTime, res.CWSlots, res.Collisions)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced figures.
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/core"
+	"repro/internal/mac"
+	"repro/internal/rng"
+	"repro/internal/slotted"
+	"repro/internal/trace"
+)
+
+// Algorithm names accepted by the Run functions.
+const (
+	BEB = "BEB" // binary exponential backoff (the deployed baseline)
+	LB  = "LB"  // LOG-BACKOFF, Θ(n·log n / log log n) CW slots
+	LLB = "LLB" // LOGLOG-BACKOFF, Θ(n·log log n / log log log n) CW slots
+	STB = "STB" // SAWTOOTH-BACKOFF, Θ(n) CW slots (optimal)
+)
+
+// Algorithms returns the four paper algorithms in presentation order.
+func Algorithms() []string { return backoff.PaperAlgorithmNames() }
+
+// BatchResult is the unified outcome of a single-batch run on either
+// channel model.
+type BatchResult struct {
+	// N is the batch size.
+	N int
+	// Model is "abstract" or "wifi".
+	Model string
+	// Algorithm is the contention-resolution algorithm's name.
+	Algorithm string
+	// CWSlots is the contention-window slots consumed (the metric the
+	// algorithmic literature optimizes).
+	CWSlots int
+	// Collisions is the number of disjoint collisions (the paper's C_A).
+	Collisions int
+	// TotalTime is wall-clock channel time until the last packet finished;
+	// zero under the abstract model, which has no notion of real time.
+	TotalTime time.Duration
+	// HalfTime is the time at which half the packets had finished (wifi).
+	HalfTime time.Duration
+	// CWSlotsAtHalf is the CW-slot count when half the packets had finished.
+	CWSlotsAtHalf int
+	// MaxAckTimeouts is the worst per-station ACK-timeout count (wifi).
+	MaxAckTimeouts int
+	// Decomposition splits total time per the paper's Section III-B (wifi).
+	Decomposition *core.Decomposition
+}
+
+// options collects the functional options of the Run functions.
+type options struct {
+	seed      uint64
+	payload   int
+	rtscts    bool
+	tracer    *trace.Recorder
+	cfgTweaks []func(*mac.Config)
+}
+
+// Option configures a batch run.
+type Option func(*options)
+
+// WithSeed fixes the random seed; runs are deterministic given (n,
+// algorithm, options, seed).
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithPayload sets the application payload size in bytes (default 64, the
+// paper's small-packet configuration; 1024 is its large-packet one).
+func WithPayload(bytes int) Option { return func(o *options) { o.payload = bytes } }
+
+// WithRTSCTS enables the RTS/CTS handshake (wifi model only).
+func WithRTSCTS() Option { return func(o *options) { o.rtscts = true } }
+
+// WithTrace records per-station MAC events into rec for timeline rendering
+// (wifi model only).
+func WithTrace(rec *trace.Recorder) Option { return func(o *options) { o.tracer = rec } }
+
+// MACConfig aliases the full 802.11g DCF parameter set (Table I defaults)
+// so API users can name it in WithConfig tweaks.
+type MACConfig = mac.Config
+
+// WithConfig applies an arbitrary tweak to the MAC configuration before the
+// run (wifi model only); the escape hatch for protocol ablations.
+func WithConfig(tweak func(*MACConfig)) Option {
+	return func(o *options) { o.cfgTweaks = append(o.cfgTweaks, tweak) }
+}
+
+func buildOptions(opts []Option) options {
+	o := options{payload: 64}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+func factoryFor(algorithm string) (backoff.Factory, error) {
+	f, ok := backoff.Registered(algorithm)
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown algorithm %q (want one of %v, FIXED:<w>, POLY:<p>)",
+			algorithm, Algorithms())
+	}
+	return f, nil
+}
+
+// RunAbstractBatch simulates one batch of n packets under the abstract
+// slotted model (A0–A2). Payload, RTS/CTS and trace options do not apply.
+func RunAbstractBatch(n int, algorithm string, opts ...Option) (BatchResult, error) {
+	if n < 1 {
+		return BatchResult{}, fmt.Errorf("repro: n must be >= 1, got %d", n)
+	}
+	f, err := factoryFor(algorithm)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	o := buildOptions(opts)
+	g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("abstract|%s|n=%d", algorithm, n)))
+	res := slotted.RunBatch(n, f, g)
+	return BatchResult{
+		N:             n,
+		Model:         "abstract",
+		Algorithm:     algorithm,
+		CWSlots:       res.CWSlots,
+		Collisions:    res.Collisions,
+		CWSlotsAtHalf: res.HalfSlots,
+	}, nil
+}
+
+// RunWiFiBatch simulates one batch of n stations under the IEEE 802.11g DCF
+// model with the paper's Table I parameters.
+func RunWiFiBatch(n int, algorithm string, opts ...Option) (BatchResult, error) {
+	if n < 1 {
+		return BatchResult{}, fmt.Errorf("repro: n must be >= 1, got %d", n)
+	}
+	f, err := factoryFor(algorithm)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	o := buildOptions(opts)
+	cfg := mac.DefaultConfig()
+	cfg.PayloadBytes = o.payload
+	cfg.RTSCTS = o.rtscts
+	for _, tweak := range o.cfgTweaks {
+		tweak(&cfg)
+	}
+	g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("wifi|%s|n=%d", algorithm, n)))
+	var tracer mac.Tracer
+	if o.tracer != nil {
+		tracer = o.tracer
+	}
+	res := mac.RunBatch(cfg, n, f, g, tracer)
+	d := core.Decompose(cfg, res)
+	return BatchResult{
+		N:              n,
+		Model:          "wifi",
+		Algorithm:      algorithm,
+		CWSlots:        res.CWSlots,
+		Collisions:     res.Collisions,
+		TotalTime:      res.TotalTime,
+		HalfTime:       res.HalfTime,
+		CWSlotsAtHalf:  res.CWSlotsAtHalf,
+		MaxAckTimeouts: res.MaxAckTimeouts,
+		Decomposition:  &d,
+	}, nil
+}
+
+// BestOfKResult reports a size-estimation run (paper Section VI).
+type BestOfKResult struct {
+	BatchResult
+	// MedianEstimate is the batch's median estimate of n (Figure 18).
+	MedianEstimate int
+	// EstimationTime is the fixed cost of the probing phase.
+	EstimationTime time.Duration
+}
+
+// RunBestOfK simulates BEST-OF-k followed by fixed backoff on the wifi
+// model (k = 3 and 5 in the paper).
+func RunBestOfK(n, k int, opts ...Option) (BestOfKResult, error) {
+	if n < 1 || k < 1 {
+		return BestOfKResult{}, fmt.Errorf("repro: need n >= 1 and k >= 1 (got n=%d k=%d)", n, k)
+	}
+	o := buildOptions(opts)
+	cfg := mac.DefaultConfig()
+	cfg.PayloadBytes = o.payload
+	for _, tweak := range o.cfgTweaks {
+		tweak(&cfg)
+	}
+	g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("bok|k=%d|n=%d", k, n)))
+	var tracer mac.Tracer
+	if o.tracer != nil {
+		tracer = o.tracer
+	}
+	res := mac.RunBestOfK(cfg, mac.DefaultBestOfK(k), n, g, tracer)
+	d := core.Decompose(cfg, res.Result)
+	ests := append([]int(nil), res.Estimates...)
+	for i := 1; i < len(ests); i++ {
+		for j := i; j > 0 && ests[j] < ests[j-1]; j-- {
+			ests[j], ests[j-1] = ests[j-1], ests[j]
+		}
+	}
+	return BestOfKResult{
+		BatchResult: BatchResult{
+			N:              n,
+			Model:          "wifi",
+			Algorithm:      fmt.Sprintf("Best-of-%d", k),
+			CWSlots:        res.CWSlots,
+			Collisions:     res.Collisions,
+			TotalTime:      res.TotalTime,
+			HalfTime:       res.HalfTime,
+			CWSlotsAtHalf:  res.CWSlotsAtHalf,
+			MaxAckTimeouts: res.MaxAckTimeouts,
+			Decomposition:  &d,
+		},
+		MedianEstimate: ests[len(ests)/2],
+		EstimationTime: res.EstimationTime,
+	}, nil
+}

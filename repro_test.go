@@ -1,0 +1,146 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestRunAbstractBatch(t *testing.T) {
+	res, err := RunAbstractBatch(50, BEB, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "abstract" || res.Algorithm != BEB || res.N != 50 {
+		t.Fatalf("metadata: %+v", res)
+	}
+	if res.CWSlots < 50 {
+		t.Fatalf("CW slots %d below n", res.CWSlots)
+	}
+	if res.TotalTime != 0 {
+		t.Fatal("abstract model should not report wall time")
+	}
+}
+
+func TestRunWiFiBatch(t *testing.T) {
+	res, err := RunWiFiBatch(30, STB, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 || res.HalfTime <= 0 || res.HalfTime > res.TotalTime {
+		t.Fatalf("times: %+v", res)
+	}
+	if res.Decomposition == nil || res.Decomposition.Observed != res.TotalTime {
+		t.Fatalf("decomposition missing or inconsistent: %+v", res.Decomposition)
+	}
+}
+
+func TestUnknownAlgorithmRejected(t *testing.T) {
+	if _, err := RunAbstractBatch(10, "WAT"); err == nil {
+		t.Fatal("abstract accepted unknown algorithm")
+	}
+	if _, err := RunWiFiBatch(10, "WAT"); err == nil {
+		t.Fatal("wifi accepted unknown algorithm")
+	}
+}
+
+func TestBadNRejected(t *testing.T) {
+	if _, err := RunAbstractBatch(0, BEB); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := RunWiFiBatch(-1, BEB); err == nil {
+		t.Fatal("n=-1 accepted")
+	}
+	if _, err := RunBestOfK(0, 3); err == nil {
+		t.Fatal("best-of-k n=0 accepted")
+	}
+}
+
+func TestDeterminismAcrossCalls(t *testing.T) {
+	a, _ := RunWiFiBatch(20, LLB, WithSeed(7))
+	b, _ := RunWiFiBatch(20, LLB, WithSeed(7))
+	if a.TotalTime != b.TotalTime || a.CWSlots != b.CWSlots {
+		t.Fatal("same options diverged")
+	}
+	c, _ := RunWiFiBatch(20, LLB, WithSeed(8))
+	if a.TotalTime == c.TotalTime && a.CWSlots == c.CWSlots && a.Collisions == c.Collisions {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestPayloadOption(t *testing.T) {
+	small, _ := RunWiFiBatch(15, BEB, WithSeed(3), WithPayload(64))
+	large, _ := RunWiFiBatch(15, BEB, WithSeed(3), WithPayload(1024))
+	if large.TotalTime <= small.TotalTime {
+		t.Fatalf("1024B (%v) not slower than 64B (%v)", large.TotalTime, small.TotalTime)
+	}
+}
+
+func TestRTSCTSOption(t *testing.T) {
+	res, err := RunWiFiBatch(10, BEB, WithSeed(4), WithRTSCTS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("RTS/CTS run failed")
+	}
+}
+
+func TestTraceOption(t *testing.T) {
+	rec := &trace.Recorder{}
+	if _, err := RunWiFiBatch(5, BEB, WithSeed(5), WithTrace(rec)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) == 0 {
+		t.Fatal("trace recorder captured nothing")
+	}
+}
+
+func TestWithConfigTweak(t *testing.T) {
+	slow, err := RunWiFiBatch(10, BEB, WithSeed(6), WithConfig(func(c *MACConfig) {
+		c.AckTimeout = 400 * time.Microsecond
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, _ := RunWiFiBatch(10, BEB, WithSeed(6))
+	if slow.Collisions > 0 && slow.TotalTime <= fast.TotalTime {
+		t.Fatalf("longer ACK timeout (%v) not slower than default (%v)", slow.TotalTime, fast.TotalTime)
+	}
+}
+
+func TestRunBestOfK(t *testing.T) {
+	res, err := RunBestOfK(40, 5, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MedianEstimate < 40 {
+		t.Fatalf("median estimate %d underestimates n=40", res.MedianEstimate)
+	}
+	if res.EstimationTime <= 0 || res.TotalTime <= res.EstimationTime {
+		t.Fatalf("phase times: est=%v total=%v", res.EstimationTime, res.TotalTime)
+	}
+}
+
+func TestFixedAndPolyAlgorithms(t *testing.T) {
+	if _, err := RunAbstractBatch(20, "FIXED:64", WithSeed(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAbstractBatch(20, "POLY:2", WithSeed(10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithmsList(t *testing.T) {
+	got := Algorithms()
+	want := []string{BEB, LB, LLB, STB}
+	if len(got) != len(want) {
+		t.Fatalf("Algorithms() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Algorithms() = %v", got)
+		}
+	}
+}
