@@ -6,6 +6,8 @@
 package repro
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
@@ -139,6 +141,44 @@ func BenchmarkSaturatedThroughput(b *testing.B) {
 	cfg := experiments.Config{Trials: 3, NMax: 20, NStep: 10, Seed: 1}
 	runFigure(b, "tput", cfg)
 }
+
+// --- Engine.Sweep parallel speedup -----------------------------------------
+//
+// The same 4-scenario × 8-seed grid executed through Engine.Sweep with the
+// full worker pool vs one worker. Cells are independent simulations with
+// per-cell derived RNG streams, so both runs produce bit-identical results;
+// on a multi-core machine the parallel variant's ns/op pins the speedup
+// (≥2× on 4 cores, scaling with GOMAXPROCS).
+
+func sweepBenchGrid() ([]Scenario, []uint64) {
+	algos := PaperAlgorithmList()
+	scenarios := make([]Scenario, len(algos))
+	for i, a := range algos {
+		scenarios[i] = Scenario{Model: WiFi(), Algorithm: a, N: 100}
+	}
+	return scenarios, SequentialSeeds(1, 8)
+}
+
+func runSweepBench(b *testing.B, workers int) {
+	scenarios, seeds := sweepBenchGrid()
+	eng := Engine{Workers: workers}
+	for i := 0; i < b.N; i++ {
+		cells := 0
+		for cell := range eng.Sweep(context.Background(), scenarios, seeds) {
+			if cell.Err != nil {
+				b.Fatal(cell.Err)
+			}
+			cells++
+		}
+		if cells != len(scenarios)*len(seeds) {
+			b.Fatalf("got %d cells", cells)
+		}
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { runSweepBench(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { runSweepBench(b, 0) }
 
 // --- Single-run microbenches for the public API ----------------------------
 

@@ -1,6 +1,6 @@
 // Command contend runs a single contention-resolution experiment and prints
 // its metrics: the quickest way to poke at one algorithm on one channel
-// model.
+// model. Trials run in parallel through repro.Engine.Sweep.
 //
 // Usage:
 //
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,9 +35,46 @@ func main() {
 	)
 	flag.Parse()
 
+	s := repro.Scenario{
+		N:       *n,
+		Options: []repro.Option{repro.WithPayload(*payload)},
+	}
+	if *rts {
+		s.Options = append(s.Options, repro.WithRTSCTS())
+	}
+
 	var bokK int
+	isBok := false
 	if _, err := fmt.Sscanf(strings.ToLower(*algo), "best-of-%d", &bokK); err == nil && bokK >= 1 {
-		runBestOfK(bokK, *n, *payload, *trials, *seed)
+		isBok = true
+		s.Model = repro.WiFi()
+		s.Workload = repro.BestOfKWorkload{K: bokK}
+	} else {
+		a, err := repro.ParseAlgorithm(*algo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "contend: %v\n", err)
+			os.Exit(1)
+		}
+		s.Algorithm = a
+		switch *model {
+		case "wifi":
+			s.Model = repro.WiFi()
+		case "abstract":
+			s.Model = repro.Abstract()
+		default:
+			fmt.Fprintf(os.Stderr, "contend: unknown model %q\n", *model)
+			os.Exit(1)
+		}
+	}
+
+	// One grid cell per trial, fanned across the worker pool; the seed
+	// ladder matches the old serial loop (seed, seed+1, ...), so metrics
+	// are unchanged.
+	var eng repro.Engine
+	seeds := repro.SequentialSeeds(*seed, *trials)
+
+	if isBok {
+		runBestOfK(&eng, s, seeds, bokK, *n, *payload)
 		return
 	}
 
@@ -44,58 +82,43 @@ func main() {
 		totalUs, cwSlots, collisions, maxTO []float64
 	}
 	var m metrics
-	for tr := 0; tr < *trials; tr++ {
-		opts := []repro.Option{repro.WithSeed(*seed + uint64(tr)), repro.WithPayload(*payload)}
-		if *rts {
-			opts = append(opts, repro.WithRTSCTS())
-		}
-		var res repro.BatchResult
-		var err error
-		switch *model {
-		case "wifi":
-			res, err = repro.RunWiFiBatch(*n, *algo, opts...)
-		case "abstract":
-			res, err = repro.RunAbstractBatch(*n, *algo, opts...)
-		default:
-			err = fmt.Errorf("unknown model %q", *model)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "contend: %v\n", err)
+	for cell := range eng.Sweep(context.Background(), []repro.Scenario{s}, seeds) {
+		if cell.Err != nil {
+			fmt.Fprintf(os.Stderr, "contend: %v\n", cell.Err)
 			os.Exit(1)
 		}
+		res := cell.Result.Batch
 		m.totalUs = append(m.totalUs, float64(res.TotalTime)/float64(time.Microsecond))
 		m.cwSlots = append(m.cwSlots, float64(res.CWSlots))
 		m.collisions = append(m.collisions, float64(res.Collisions))
 		m.maxTO = append(m.maxTO, float64(res.MaxAckTimeouts))
 	}
 
-	fmt.Printf("%s on %s, n=%d, payload=%dB, %d trials\n", *algo, *model, *n, *payload, *trials)
+	fmt.Printf("%s on %s, n=%d, payload=%dB, %d trials\n", *algo, s.Model.Name(), *n, *payload, *trials)
 	printStat("CW slots", m.cwSlots)
 	printStat("disjoint collisions", m.collisions)
-	if *model == "wifi" {
+	if s.Model.Name() == "wifi" {
 		printStat("total time (µs)", m.totalUs)
 		printStat("max ACK timeouts", m.maxTO)
 		// Decomposition from a representative run (the median-total trial).
 		idx := medianIndex(m.totalUs)
-		res, _ := repro.RunWiFiBatch(*n, *algo,
-			repro.WithSeed(*seed+uint64(idx)), repro.WithPayload(*payload))
-		fmt.Printf("decomposition (median trial): %v\n", res.Decomposition)
+		res, _ := eng.Run(context.Background(), s.WithOptions(repro.WithSeed(seeds[idx])))
+		fmt.Printf("decomposition (median trial): %v\n", res.Batch.Decomposition)
 	}
 }
 
-func runBestOfK(k, n, payload, trials int, seed uint64) {
+func runBestOfK(eng *repro.Engine, s repro.Scenario, seeds []uint64, k, n, payload int) {
 	var totals, ests []float64
-	for tr := 0; tr < trials; tr++ {
-		res, err := repro.RunBestOfK(n, k,
-			repro.WithSeed(seed+uint64(tr)), repro.WithPayload(payload))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "contend: %v\n", err)
+	for cell := range eng.Sweep(context.Background(), []repro.Scenario{s}, seeds) {
+		if cell.Err != nil {
+			fmt.Fprintf(os.Stderr, "contend: %v\n", cell.Err)
 			os.Exit(1)
 		}
+		res := cell.Result.BestOfK
 		totals = append(totals, float64(res.TotalTime)/float64(time.Microsecond))
 		ests = append(ests, float64(res.MedianEstimate))
 	}
-	fmt.Printf("best-of-%d on wifi, n=%d, payload=%dB, %d trials\n", k, n, payload, trials)
+	fmt.Printf("best-of-%d on wifi, n=%d, payload=%dB, %d trials\n", k, n, payload, len(seeds))
 	printStat("total time (µs)", totals)
 	printStat("estimate of n", ests)
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,13 +30,26 @@ func main() {
 	)
 	flag.Parse()
 
-	rec := &trace.Recorder{}
-	res, err := repro.RunWiFiBatch(*n, *algo,
-		repro.WithSeed(*seed), repro.WithPayload(*payload), repro.WithTrace(rec))
+	a, err := repro.ParseAlgorithm(*algo)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 		os.Exit(1)
 	}
+	rec := &trace.Recorder{}
+	var eng repro.Engine
+	out, err := eng.Run(context.Background(), repro.Scenario{
+		Model:     repro.WiFi(),
+		Algorithm: a,
+		N:         *n,
+		Options: []repro.Option{
+			repro.WithSeed(*seed), repro.WithPayload(*payload), repro.WithTrace(rec),
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	res := out.Batch
 
 	fmt.Printf("Execution of %s with %d stations (█ tx, x ACK timeout, * success)\n", *algo, *n)
 	if err := rec.Render(os.Stdout, trace.RenderOptions{Width: *width, ShowAP: *showAP}); err != nil {

@@ -1,13 +1,12 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/mac"
-	"repro/internal/rng"
 	"repro/internal/saturation"
-	"repro/internal/slotted"
 	"repro/internal/traffic"
 )
 
@@ -88,48 +87,23 @@ type TrafficResult struct {
 // arrival process. Note: the paper's Table I CWmin = 1 causes channel
 // capture under saturation; pass WithConfig to raise CWMin (16 is the
 // 802.11 standard) for steady-state studies.
+//
+// Equivalent to Engine.Run of Scenario{Model: WiFi(), Algorithm:
+// ParseAlgorithm(algorithm), N: n, Workload: ContinuousWorkload{Arrivals:
+// arrivals, Horizon: horizon}, Options: opts}.
 func RunContinuousTraffic(n int, algorithm string, arrivals ArrivalSpec,
 	horizon time.Duration, opts ...Option) (TrafficResult, error) {
-	if n < 1 {
-		return TrafficResult{}, fmt.Errorf("repro: n must be >= 1, got %d", n)
-	}
-	if horizon <= 0 {
-		return TrafficResult{}, fmt.Errorf("repro: horizon must be positive, got %v", horizon)
-	}
-	f, err := factoryFor(algorithm)
+	res, err := defaultEngine.Run(context.Background(), Scenario{
+		Model:     WiFi(),
+		Algorithm: Algorithm{spec: algorithm},
+		N:         n,
+		Workload:  ContinuousWorkload{Arrivals: arrivals, Horizon: horizon},
+		Options:   opts,
+	})
 	if err != nil {
 		return TrafficResult{}, err
 	}
-	proc, err := arrivals.process()
-	if err != nil {
-		return TrafficResult{}, err
-	}
-	o := buildOptions(opts)
-	cfg := mac.DefaultConfig()
-	cfg.PayloadBytes = o.payload
-	cfg.RTSCTS = o.rtscts
-	for _, tweak := range o.cfgTweaks {
-		tweak(&cfg)
-	}
-	g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("traffic|%s|%s|n=%d", algorithm, proc.Name(), n)))
-	var tracer mac.Tracer
-	if o.tracer != nil {
-		tracer = o.tracer
-	}
-	res := mac.RunContinuous(cfg, n, f, proc, horizon, g, tracer)
-	return TrafficResult{
-		N:              n,
-		Horizon:        horizon,
-		Offered:        res.Offered,
-		Delivered:      res.Delivered,
-		Backlog:        res.Backlog,
-		ThroughputMbps: res.ThroughputMbps,
-		LatencyP50:     res.LatencyP50,
-		LatencyP95:     res.LatencyP95,
-		LatencyMax:     res.LatencyMax,
-		Collisions:     res.Collisions,
-		JainFairness:   res.JainFairness,
-	}, nil
+	return *res.Traffic, nil
 }
 
 // PredictSaturatedThroughput returns Bianchi's analytical saturated
@@ -149,19 +123,18 @@ func PredictSaturatedThroughput(n, cwMin, payloadBytes int) (float64, error) {
 // RunTreeBatch resolves a single batch with the classic binary
 // tree-splitting algorithm (Capetanakis) under the abstract model — the
 // non-backoff baseline of the contention-resolution literature.
+//
+// Equivalent to Engine.Run of Scenario{Model: Abstract(), N: n, Workload:
+// TreeWorkload{}, Options: opts}.
 func RunTreeBatch(n int, opts ...Option) (BatchResult, error) {
-	if n < 1 {
-		return BatchResult{}, fmt.Errorf("repro: n must be >= 1, got %d", n)
+	res, err := defaultEngine.Run(context.Background(), Scenario{
+		Model:    Abstract(),
+		N:        n,
+		Workload: TreeWorkload{},
+		Options:  opts,
+	})
+	if err != nil {
+		return BatchResult{}, err
 	}
-	o := buildOptions(opts)
-	g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("tree|n=%d", n)))
-	res := slotted.RunTreeBatch(n, g)
-	return BatchResult{
-		N:             n,
-		Model:         "abstract",
-		Algorithm:     "TREE",
-		CWSlots:       res.CWSlots,
-		Collisions:    res.Collisions,
-		CWSlotsAtHalf: res.HalfSlots,
-	}, nil
+	return *res.Batch, nil
 }

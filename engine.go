@@ -1,0 +1,231 @@
+package repro
+
+// Engine executes Scenarios against pluggable channel Models. The two
+// models are peers behind one interface, so the same Scenario value runs
+// under either — the paper's method of pricing one workload two ways —
+// and future models (a lossy channel, multiple access points) drop in
+// without growing the API surface.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mac"
+	"repro/internal/rng"
+	"repro/internal/slotted"
+)
+
+// Model is a channel model: it prices a scenario's workload in that model's
+// currency (abstract CW slots, or 802.11g microseconds). Implementations
+// live in this package — Abstract and WiFi today — and must be deterministic
+// given the scenario's options: equal scenarios produce equal Results.
+//
+// Not every model supports every workload; unsupported combinations return
+// an error from run (best-of-k and continuous traffic need real time, tree
+// splitting is defined on the abstract channel).
+type Model interface {
+	// Name is the stable identifier used in results and RNG stream labels
+	// ("abstract", "wifi"). Renaming a model changes its random streams.
+	Name() string
+
+	// run executes the scenario with resolved options. The scenario has
+	// already been validated. Implementations are in-package: run keeps the
+	// interface closed so the RNG-label contract stays enforceable.
+	run(ctx context.Context, s Scenario, o options) (Result, error)
+}
+
+// Abstract returns the abstract slotted model (assumptions A0–A2): a
+// collision costs one slot, time is not modelled. Payload, RTS/CTS, trace
+// and config options do not apply.
+func Abstract() Model { return abstractModel{} }
+
+// WiFi returns the IEEE 802.11g DCF model with the paper's Table I
+// parameters: a collision costs a full transmission plus an ACK timeout.
+func WiFi() Model { return wifiModel{} }
+
+// errUnsupported formats the model × workload incompatibility error.
+func errUnsupported(m Model, w Workload) error {
+	return fmt.Errorf("repro: the %s model does not support the %s workload",
+		m.Name(), w.workloadName())
+}
+
+// --- Abstract slotted model -------------------------------------------------
+
+type abstractModel struct{}
+
+func (abstractModel) Name() string { return "abstract" }
+
+func (m abstractModel) run(_ context.Context, s Scenario, o options) (Result, error) {
+	switch s.workload().(type) {
+	case SingleBatch:
+		f, err := s.Algorithm.factory()
+		if err != nil {
+			return Result{}, err
+		}
+		g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("abstract|%s|n=%d", s.Algorithm, s.N)))
+		res := slotted.RunBatch(s.N, f, g)
+		return Result{Batch: &BatchResult{
+			N:             s.N,
+			Model:         m.Name(),
+			Algorithm:     s.Algorithm.String(),
+			CWSlots:       res.CWSlots,
+			Collisions:    res.Collisions,
+			CWSlotsAtHalf: res.HalfSlots,
+		}}, nil
+	case TreeWorkload:
+		g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("tree|n=%d", s.N)))
+		res := slotted.RunTreeBatch(s.N, g)
+		return Result{Batch: &BatchResult{
+			N:             s.N,
+			Model:         m.Name(),
+			Algorithm:     "TREE",
+			CWSlots:       res.CWSlots,
+			Collisions:    res.Collisions,
+			CWSlotsAtHalf: res.HalfSlots,
+		}}, nil
+	default:
+		return Result{}, errUnsupported(m, s.workload())
+	}
+}
+
+// --- IEEE 802.11g DCF model -------------------------------------------------
+
+type wifiModel struct{}
+
+func (wifiModel) Name() string { return "wifi" }
+
+// config materializes the MAC configuration from resolved options.
+func (wifiModel) config(o options) mac.Config {
+	cfg := mac.DefaultConfig()
+	cfg.PayloadBytes = o.payload
+	cfg.RTSCTS = o.rtscts
+	for _, tweak := range o.cfgTweaks {
+		tweak(&cfg)
+	}
+	return cfg
+}
+
+func (wifiModel) tracer(o options) mac.Tracer {
+	if o.tracer != nil {
+		return o.tracer
+	}
+	return nil
+}
+
+func (m wifiModel) run(_ context.Context, s Scenario, o options) (Result, error) {
+	switch w := s.workload().(type) {
+	case SingleBatch:
+		f, err := s.Algorithm.factory()
+		if err != nil {
+			return Result{}, err
+		}
+		cfg := m.config(o)
+		g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("wifi|%s|n=%d", s.Algorithm, s.N)))
+		res := mac.RunBatch(cfg, s.N, f, g, m.tracer(o))
+		d := core.Decompose(cfg, res)
+		return Result{Batch: &BatchResult{
+			N:              s.N,
+			Model:          m.Name(),
+			Algorithm:      s.Algorithm.String(),
+			CWSlots:        res.CWSlots,
+			Collisions:     res.Collisions,
+			TotalTime:      res.TotalTime,
+			HalfTime:       res.HalfTime,
+			CWSlotsAtHalf:  res.CWSlotsAtHalf,
+			MaxAckTimeouts: res.MaxAckTimeouts,
+			Decomposition:  &d,
+		}}, nil
+
+	case BestOfKWorkload:
+		// RTS/CTS does not apply to the probe phase; the legacy path never
+		// set it, so the scenario path keeps the config byte-identical.
+		cfg := mac.DefaultConfig()
+		cfg.PayloadBytes = o.payload
+		for _, tweak := range o.cfgTweaks {
+			tweak(&cfg)
+		}
+		g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("bok|k=%d|n=%d", w.K, s.N)))
+		res := mac.RunBestOfK(cfg, mac.DefaultBestOfK(w.K), s.N, g, m.tracer(o))
+		d := core.Decompose(cfg, res.Result)
+		ests := append([]int(nil), res.Estimates...)
+		for i := 1; i < len(ests); i++ {
+			for j := i; j > 0 && ests[j] < ests[j-1]; j-- {
+				ests[j], ests[j-1] = ests[j-1], ests[j]
+			}
+		}
+		return Result{BestOfK: &BestOfKResult{
+			BatchResult: BatchResult{
+				N:              s.N,
+				Model:          m.Name(),
+				Algorithm:      fmt.Sprintf("Best-of-%d", w.K),
+				CWSlots:        res.CWSlots,
+				Collisions:     res.Collisions,
+				TotalTime:      res.TotalTime,
+				HalfTime:       res.HalfTime,
+				CWSlotsAtHalf:  res.CWSlotsAtHalf,
+				MaxAckTimeouts: res.MaxAckTimeouts,
+				Decomposition:  &d,
+			},
+			MedianEstimate: ests[len(ests)/2],
+			EstimationTime: res.EstimationTime,
+		}}, nil
+
+	case ContinuousWorkload:
+		f, err := s.Algorithm.factory()
+		if err != nil {
+			return Result{}, err
+		}
+		proc, err := w.Arrivals.process()
+		if err != nil {
+			return Result{}, err
+		}
+		cfg := m.config(o)
+		g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("traffic|%s|%s|n=%d", s.Algorithm, proc.Name(), s.N)))
+		res := mac.RunContinuous(cfg, s.N, f, proc, w.Horizon, g, m.tracer(o))
+		return Result{Traffic: &TrafficResult{
+			N:              s.N,
+			Horizon:        w.Horizon,
+			Offered:        res.Offered,
+			Delivered:      res.Delivered,
+			Backlog:        res.Backlog,
+			ThroughputMbps: res.ThroughputMbps,
+			LatencyP50:     res.LatencyP50,
+			LatencyP95:     res.LatencyP95,
+			LatencyMax:     res.LatencyMax,
+			Collisions:     res.Collisions,
+			JainFairness:   res.JainFairness,
+		}}, nil
+
+	default:
+		return Result{}, errUnsupported(m, s.workload())
+	}
+}
+
+// --- Engine -----------------------------------------------------------------
+
+// Engine executes scenarios. The zero value is ready to use and sizes its
+// worker pool to GOMAXPROCS; set Workers to cap parallelism. Engines are
+// stateless and safe for concurrent use.
+type Engine struct {
+	// Workers caps the parallelism of Sweep and RunMany (0 = GOMAXPROCS).
+	// Run is always a single synchronous execution.
+	Workers int
+}
+
+// defaultEngine backs the package-level legacy wrappers.
+var defaultEngine Engine
+
+// Run validates and executes one scenario synchronously. It returns
+// ctx.Err() without running if the context is already cancelled; a started
+// simulation always runs to completion (cancellation is checked between
+// scenarios, not inside the discrete-event loop).
+func (e *Engine) Run(ctx context.Context, s Scenario) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	return s.Model.run(ctx, s, buildOptions(s.Options))
+}

@@ -4,10 +4,13 @@
 // collisions, worst-case ACK timeouts) over several trials, and closes with
 // the Section III-B cost decomposition that explains the reversal.
 //
+// All algorithm × trial cells run in parallel through one Engine.Sweep.
+//
 //	go run ./examples/burst [-n 150]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +26,17 @@ func main() {
 	payload := flag.Int("payload", 64, "payload bytes")
 	flag.Parse()
 
+	algos := repro.PaperAlgorithmList()
+	scenarios := make([]repro.Scenario, len(algos))
+	for i, a := range algos {
+		scenarios[i] = repro.Scenario{
+			Model:     repro.WiFi(),
+			Algorithm: a,
+			N:         *n,
+			Options:   []repro.Option{repro.WithPayload(*payload)},
+		}
+	}
+
 	fmt.Printf("Burst of %d stations, %dB payload, median of %d trials\n\n", *n, *payload, *trials)
 	fmt.Printf("%-5s %10s %12s %12s %11s %8s\n",
 		"algo", "CW slots", "total (µs)", "half (µs)", "collisions", "max TO")
@@ -30,24 +44,27 @@ func main() {
 	type agg struct {
 		slots, total, half, coll, to []float64
 	}
-	baselines := map[string]float64{}
-	for _, algo := range repro.Algorithms() {
-		var a agg
-		for tr := 0; tr < *trials; tr++ {
-			res, err := repro.RunWiFiBatch(*n, algo,
-				repro.WithSeed(uint64(tr)), repro.WithPayload(*payload))
-			if err != nil {
-				log.Fatal(err)
-			}
-			a.slots = append(a.slots, float64(res.CWSlots))
-			a.total = append(a.total, float64(res.TotalTime)/float64(time.Microsecond))
-			a.half = append(a.half, float64(res.HalfTime)/float64(time.Microsecond))
-			a.coll = append(a.coll, float64(res.Collisions))
-			a.to = append(a.to, float64(res.MaxAckTimeouts))
+	aggs := make([]agg, len(scenarios))
+	var eng repro.Engine
+	for cell := range eng.Sweep(context.Background(), scenarios, repro.SequentialSeeds(0, *trials)) {
+		if cell.Err != nil {
+			log.Fatal(cell.Err)
 		}
+		res := cell.Result.Batch
+		a := &aggs[cell.ScenarioIndex]
+		a.slots = append(a.slots, float64(res.CWSlots))
+		a.total = append(a.total, float64(res.TotalTime)/float64(time.Microsecond))
+		a.half = append(a.half, float64(res.HalfTime)/float64(time.Microsecond))
+		a.coll = append(a.coll, float64(res.Collisions))
+		a.to = append(a.to, float64(res.MaxAckTimeouts))
+	}
+
+	baselines := map[string]float64{}
+	for i, algo := range algos {
+		a := aggs[i]
 		fmt.Printf("%-5s %10.0f %12.0f %12.0f %11.0f %8.0f\n", algo,
 			med(a.slots), med(a.total), med(a.half), med(a.coll), med(a.to))
-		baselines[algo] = med(a.total)
+		baselines[algo.String()] = med(a.total)
 	}
 
 	fmt.Println("\nTotal time vs BEB:")
@@ -55,11 +72,11 @@ func main() {
 		fmt.Printf("  %-4s %+6.1f%%\n", algo, 100*(baselines[algo]-baselines["BEB"])/baselines["BEB"])
 	}
 
-	res, err := repro.RunWiFiBatch(*n, "BEB", repro.WithSeed(1), repro.WithPayload(*payload))
+	res, err := eng.Run(context.Background(), scenarios[0].WithOptions(repro.WithSeed(1)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nWhere BEB's time goes (Section III-B, one representative run):\n  %v\n", res.Decomposition)
+	fmt.Printf("\nWhere BEB's time goes (Section III-B, one representative run):\n  %v\n", res.Batch.Decomposition)
 }
 
 func med(xs []float64) float64 {

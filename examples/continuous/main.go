@@ -5,10 +5,14 @@
 // saturation — and reports throughput, delay and fairness, with Bianchi's
 // analytical prediction alongside the saturated BEB row.
 //
+// The regime × algorithm grid is a ContinuousWorkload scenario list fanned
+// out by Engine.RunMany.
+//
 //	go run ./examples/continuous
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -34,16 +38,32 @@ func main() {
 		{"saturated", repro.Saturated()},
 	}
 
+	// One scenario per regime × algorithm, all fanned across the pool.
+	algos := repro.PaperAlgorithmList()
+	var scenarios []repro.Scenario
 	for _, reg := range regimes {
+		for _, algo := range algos {
+			scenarios = append(scenarios, repro.Scenario{
+				Model:     repro.WiFi(),
+				Algorithm: algo,
+				N:         n,
+				Workload:  repro.ContinuousWorkload{Arrivals: reg.arrivals, Horizon: horizon},
+				Options:   []repro.Option{repro.WithSeed(11), std},
+			})
+		}
+	}
+	var eng repro.Engine
+	results, err := eng.RunMany(context.Background(), scenarios)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for ri, reg := range regimes {
 		fmt.Printf("%s, n=%d, horizon %v:\n", reg.name, n, horizon)
 		fmt.Printf("  %-5s %10s %12s %12s %10s %9s\n",
 			"algo", "delivered", "tput (Mbps)", "p95 delay", "collisions", "fairness")
-		for _, algo := range repro.Algorithms() {
-			res, err := repro.RunContinuousTraffic(n, algo, reg.arrivals, horizon,
-				repro.WithSeed(11), std)
-			if err != nil {
-				log.Fatal(err)
-			}
+		for ai, algo := range algos {
+			res := results[ri*len(algos)+ai].Traffic
 			fmt.Printf("  %-5s %10d %12.2f %12v %10d %9.2f\n",
 				algo, res.Delivered, res.ThroughputMbps,
 				res.LatencyP95.Round(time.Microsecond), res.Collisions, res.JainFairness)

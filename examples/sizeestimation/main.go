@@ -4,10 +4,15 @@
 // trading a fixed, collision-free estimation phase for the collision storm
 // that windowed backoff pays.
 //
+// The grid — best-of-3, best-of-5, and the BEB baseline — is three
+// scenarios differing only in Workload, swept in parallel over the trial
+// seeds.
+//
 //	go run ./examples/sizeestimation [-n 150]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,35 +27,43 @@ func main() {
 	trials := flag.Int("trials", 7, "trials per configuration")
 	flag.Parse()
 
+	scenarios := []repro.Scenario{
+		{Model: repro.WiFi(), N: *n, Workload: repro.BestOfKWorkload{K: 3}},
+		{Model: repro.WiFi(), N: *n, Workload: repro.BestOfKWorkload{K: 5}},
+		{Model: repro.WiFi(), N: *n, Algorithm: repro.MustAlgorithm("BEB")},
+	}
+
+	type agg struct {
+		ests, colls, totals []float64
+		phase               time.Duration
+	}
+	aggs := make([]agg, len(scenarios))
+	var eng repro.Engine
+	for cell := range eng.Sweep(context.Background(), scenarios, repro.SequentialSeeds(0, *trials)) {
+		if cell.Err != nil {
+			log.Fatal(cell.Err)
+		}
+		a := &aggs[cell.ScenarioIndex]
+		if bok := cell.Result.BestOfK; bok != nil {
+			a.ests = append(a.ests, float64(bok.MedianEstimate))
+			a.colls = append(a.colls, float64(bok.Collisions))
+			a.totals = append(a.totals, float64(bok.TotalTime)/float64(time.Microsecond))
+			a.phase = bok.EstimationTime
+		} else {
+			res := cell.Result.Batch
+			a.colls = append(a.colls, float64(res.Collisions))
+			a.totals = append(a.totals, float64(res.TotalTime)/float64(time.Microsecond))
+		}
+	}
+
 	fmt.Printf("BEST-OF-k vs BEB on a burst of %d stations (median of %d trials)\n\n", *n, *trials)
 	fmt.Printf("%-10s %14s %14s %12s %12s\n", "algo", "estimate of n", "est. phase", "collisions", "total (µs)")
-
-	for _, k := range []int{3, 5} {
-		var ests, colls, totals []float64
-		var phase time.Duration
-		for tr := 0; tr < *trials; tr++ {
-			res, err := repro.RunBestOfK(*n, k, repro.WithSeed(uint64(tr)))
-			if err != nil {
-				log.Fatal(err)
-			}
-			ests = append(ests, float64(res.MedianEstimate))
-			colls = append(colls, float64(res.Collisions))
-			totals = append(totals, float64(res.TotalTime)/float64(time.Microsecond))
-			phase = res.EstimationTime
-		}
-		fmt.Printf("best-of-%d %14.0f %14v %12.0f %12.0f\n", k, med(ests), phase, med(colls), med(totals))
+	for i, k := range []int{3, 5} {
+		a := aggs[i]
+		fmt.Printf("best-of-%d %14.0f %14v %12.0f %12.0f\n", k, med(a.ests), a.phase, med(a.colls), med(a.totals))
 	}
-
-	var colls, totals []float64
-	for tr := 0; tr < *trials; tr++ {
-		res, err := repro.RunWiFiBatch(*n, "BEB", repro.WithSeed(uint64(tr)))
-		if err != nil {
-			log.Fatal(err)
-		}
-		colls = append(colls, float64(res.Collisions))
-		totals = append(totals, float64(res.TotalTime)/float64(time.Microsecond))
-	}
-	fmt.Printf("%-10s %14s %14s %12.0f %12.0f\n", "BEB", "-", "-", med(colls), med(totals))
+	beb := aggs[2]
+	fmt.Printf("%-10s %14s %14s %12.0f %12.0f\n", "BEB", "-", "-", med(beb.colls), med(beb.totals))
 
 	fmt.Println("\nThe estimates only ever overestimate (w.h.p. Ω(n/log n), and in practice")
 	fmt.Println("~2n), so the fixed window is wide enough to avoid most collisions; the")

@@ -5,10 +5,14 @@
 // showing that collision count times packet duration, not CW slots, is what
 // separates the algorithms.
 //
+// Each payload's LLB/BEB × trial grid runs as one parallel Engine.Sweep;
+// pairing by SeedIndex keeps the per-seed differences exact.
+//
 //	go run ./examples/tradeoff [-n 150]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,24 +32,33 @@ func main() {
 	fmt.Printf("LLB vs BEB at n=%d as packets grow (medians over %d trials)\n\n", *n, *trials)
 	fmt.Printf("%8s %16s %16s %18s\n", "payload", "measured gap(µs)", "model gap(µs)", "collision gap")
 
+	var eng repro.Engine
 	for payload := 100; payload <= 1000; payload += 150 {
+		scenarios := make([]repro.Scenario, 2)
+		for i, algo := range []repro.Algorithm{repro.MustAlgorithm("LLB"), repro.MustAlgorithm("BEB")} {
+			scenarios[i] = repro.Scenario{
+				Model:     repro.WiFi(),
+				Algorithm: algo,
+				N:         *n,
+				Options:   []repro.Option{repro.WithPayload(payload)},
+			}
+		}
+		perTrial := make([][]repro.BatchResult, 2)
+		for cell := range eng.Sweep(context.Background(), scenarios, repro.SequentialSeeds(0, *trials)) {
+			if cell.Err != nil {
+				log.Fatal(cell.Err)
+			}
+			perTrial[cell.ScenarioIndex] = append(perTrial[cell.ScenarioIndex], *cell.Result.Batch)
+		}
+
+		cfg := mac.DefaultConfig()
+		cfg.PayloadBytes = payload
+		model := core.ModelFromConfig(cfg)
+
 		var gaps, modelGaps, collGaps []float64
 		for tr := 0; tr < *trials; tr++ {
-			llb, err := repro.RunWiFiBatch(*n, "LLB",
-				repro.WithSeed(uint64(tr)), repro.WithPayload(payload))
-			if err != nil {
-				log.Fatal(err)
-			}
-			beb, err := repro.RunWiFiBatch(*n, "BEB",
-				repro.WithSeed(uint64(tr)), repro.WithPayload(payload))
-			if err != nil {
-				log.Fatal(err)
-			}
+			llb, beb := perTrial[0][tr], perTrial[1][tr]
 			gaps = append(gaps, us(llb.TotalTime-beb.TotalTime))
-
-			cfg := mac.DefaultConfig()
-			cfg.PayloadBytes = payload
-			model := core.ModelFromConfig(cfg)
 			predicted := model.TotalTime(llb.Collisions, llb.CWSlots) -
 				model.TotalTime(beb.Collisions, beb.CWSlots)
 			modelGaps = append(modelGaps, us(predicted))

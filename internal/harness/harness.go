@@ -106,6 +106,40 @@ func Sweep(spec SweepSpec, fn TrialFunc) Series {
 	return s
 }
 
+// ForEach runs fn(i) for every i in [0, n) across a pool of up to workers
+// goroutines (0 = GOMAXPROCS) and blocks until all calls return. It is the
+// single parallel primitive of the repository: both the figure sweeps here
+// and the public Engine.Sweep/RunMany fan out through it. Work items must
+// be independent; determinism comes from deriving per-item RNG streams, not
+// from scheduling order.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
 // SweepRaw is Sweep, additionally returning the raw per-trial measurements
 // (unfiltered, indexed [x][trial]) for procedures that need the scatter
 // rather than the aggregate — e.g. the paper's Figure 14 regression, which
@@ -114,37 +148,17 @@ func SweepRaw(spec SweepSpec, fn TrialFunc) (Series, [][]float64) {
 	if spec.Trials < 1 {
 		panic("harness: Sweep needs Trials >= 1")
 	}
-	type job struct{ xi, trial int }
-	jobs := make(chan job)
 	raw := make([][]float64, len(spec.Xs))
 	for i := range raw {
 		raw[i] = make([]float64, spec.Trials)
 	}
-
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				x := spec.Xs[j.xi]
-				label := fmt.Sprintf("%s|x=%v|trial=%d", spec.Name, x, j.trial)
-				g := rng.New(rng.DeriveSeed(spec.Seed, label))
-				raw[j.xi][j.trial] = fn(x, g)
-			}
-		}()
-	}
-	for xi := range spec.Xs {
-		for tr := 0; tr < spec.Trials; tr++ {
-			jobs <- job{xi, tr}
-		}
-	}
-	close(jobs)
-	wg.Wait()
+	ForEach(spec.Workers, len(spec.Xs)*spec.Trials, func(j int) {
+		xi, trial := j/spec.Trials, j%spec.Trials
+		x := spec.Xs[xi]
+		label := fmt.Sprintf("%s|x=%v|trial=%d", spec.Name, x, trial)
+		g := rng.New(rng.DeriveSeed(spec.Seed, label))
+		raw[xi][trial] = fn(x, g)
+	})
 
 	out := Series{Name: spec.Name, Points: make([]Point, len(spec.Xs))}
 	for xi, vals := range raw {

@@ -3,6 +3,7 @@ package harness
 import (
 	"math"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/rng"
@@ -21,6 +22,22 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 			t.Fatalf("point %d differs across worker counts: %+v vs %+v", i, a.Points[i], b.Points[i])
 		}
 	}
+}
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 37
+		counts := make([]int64, n)
+		ForEach(workers, n, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	// Degenerate sizes must not hang or panic.
+	ForEach(4, 0, func(int) { t.Fatal("fn called for n=0") })
+	ForEach(0, -1, func(int) { t.Fatal("fn called for n<0") })
 }
 
 func TestSweepAggregation(t *testing.T) {

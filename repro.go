@@ -2,38 +2,56 @@
 // "Is Our Model for Contention Resolution Wrong? Confronting the Cost of
 // Collisions" (SPAA 2017).
 //
-// It exposes the paper's two channel models behind one façade:
+// The API is built around three ideas:
 //
-//   - the abstract slotted model (assumptions A0–A2 of the algorithmic
-//     literature), where a collision costs one slot, and
-//   - a from-scratch IEEE 802.11g DCF simulator, where a collision costs a
-//     full transmission plus an ACK timeout — the mis-priced cost the paper
-//     identifies.
+//   - Model: a pluggable channel model pricing the workload. Abstract() is
+//     the slotted model of the algorithmic literature (assumptions A0–A2,
+//     a collision costs one slot); WiFi() is a from-scratch IEEE 802.11g
+//     DCF simulator, where a collision costs a full transmission plus an
+//     ACK timeout — the mis-priced cost the paper identifies.
+//   - Scenario: one experiment — a Model, a typed Algorithm, a batch size
+//     N, and a Workload (single batch, best-of-k size estimation, tree
+//     splitting, or continuous traffic).
+//   - Engine: executes scenarios, serially with Run or fanned across a
+//     worker pool with Sweep/RunMany, deterministically either way.
 //
-// Run the same single-batch workload on both and the paper's headline
-// reversal appears: algorithms that beat binary exponential backoff on
-// contention-window slots lose to it on total time.
+// Run the same single-batch scenario on both models and the paper's
+// headline reversal appears: algorithms that beat binary exponential
+// backoff on contention-window slots lose to it on total time.
 //
-//	res, _ := repro.RunWiFiBatch(100, repro.BEB, repro.WithSeed(1))
-//	fmt.Println(res.TotalTime, res.CWSlots, res.Collisions)
+//	var eng repro.Engine
+//	s := repro.Scenario{Model: repro.WiFi(), Algorithm: repro.MustAlgorithm("BEB"), N: 100}
+//	res, _ := eng.Run(context.Background(), s.WithOptions(repro.WithSeed(1)))
+//	fmt.Println(res.Batch.TotalTime, res.Batch.CWSlots, res.Batch.Collisions)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+//	// Swap the model, keep everything else: the other half of the story.
+//	s.Model = repro.Abstract()
+//
+//	// Grids run in parallel; cells stream back in stable order.
+//	for cell := range eng.Sweep(ctx, scenarios, repro.Seeds(1, 20)) {
+//		...
+//	}
+//
+// The legacy string-keyed entry points (RunWiFiBatch, RunAbstractBatch,
+// RunBestOfK, RunTreeBatch, RunContinuousTraffic) remain as thin wrappers
+// over the Scenario path and produce bit-identical results.
+//
+// See DESIGN.md for the system layering and EXPERIMENTS.md for the
 // reproduced figures.
 package repro
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/mac"
-	"repro/internal/rng"
-	"repro/internal/slotted"
 	"repro/internal/trace"
 )
 
-// Algorithm names accepted by the Run functions.
+// Algorithm names accepted by the legacy Run functions and ParseAlgorithm.
 const (
 	BEB = "BEB" // binary exponential backoff (the deployed baseline)
 	LB  = "LB"  // LOG-BACKOFF, Θ(n·log n / log log n) CW slots
@@ -41,7 +59,8 @@ const (
 	STB = "STB" // SAWTOOTH-BACKOFF, Θ(n) CW slots (optimal)
 )
 
-// Algorithms returns the four paper algorithms in presentation order.
+// Algorithms returns the four paper algorithms' names in presentation
+// order; PaperAlgorithmList returns the same set as typed values.
 func Algorithms() []string { return backoff.PaperAlgorithmNames() }
 
 // BatchResult is the unified outcome of a single-batch run on either
@@ -71,7 +90,7 @@ type BatchResult struct {
 	Decomposition *core.Decomposition
 }
 
-// options collects the functional options of the Run functions.
+// options collects the resolved functional options of a run.
 type options struct {
 	seed      uint64
 	payload   int
@@ -80,11 +99,12 @@ type options struct {
 	cfgTweaks []func(*mac.Config)
 }
 
-// Option configures a batch run.
+// Option configures a run, both through Scenario.Options and the legacy
+// Run functions.
 type Option func(*options)
 
-// WithSeed fixes the random seed; runs are deterministic given (n,
-// algorithm, options, seed).
+// WithSeed fixes the random seed; runs are deterministic given (scenario,
+// seed). Engine.Sweep overrides the seed per grid cell.
 func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 
 // WithPayload sets the application payload size in bytes (default 64, the
@@ -95,7 +115,9 @@ func WithPayload(bytes int) Option { return func(o *options) { o.payload = bytes
 func WithRTSCTS() Option { return func(o *options) { o.rtscts = true } }
 
 // WithTrace records per-station MAC events into rec for timeline rendering
-// (wifi model only).
+// (wifi model only). Traced scenarios run through Engine.Run or the legacy
+// Run* wrappers; Engine.Sweep and Engine.RunMany reject them, since
+// concurrent cells would race on the recorder.
 func WithTrace(rec *trace.Recorder) Option { return func(o *options) { o.tracer = rec } }
 
 // MACConfig aliases the full 802.11g DCF parameter set (Table I defaults)
@@ -116,74 +138,47 @@ func buildOptions(opts []Option) options {
 	return o
 }
 
-func factoryFor(algorithm string) (backoff.Factory, error) {
-	f, ok := backoff.Registered(algorithm)
-	if !ok {
-		return nil, fmt.Errorf("repro: unknown algorithm %q (want one of %v, FIXED:<w>, POLY:<p>)",
-			algorithm, Algorithms())
-	}
-	return f, nil
-}
+// --- Legacy entry points ----------------------------------------------------
+//
+// The original string-keyed API, kept as thin wrappers over the Scenario
+// path. Each builds the equivalent Scenario and runs it on the default
+// Engine; results are bit-identical to the pre-Scenario implementation for
+// identical seeds (CHANGES.md has the full migration table).
 
 // RunAbstractBatch simulates one batch of n packets under the abstract
 // slotted model (A0–A2). Payload, RTS/CTS and trace options do not apply.
+//
+// Equivalent to Engine.Run of Scenario{Model: Abstract(), Algorithm:
+// ParseAlgorithm(algorithm), N: n, Options: opts}.
 func RunAbstractBatch(n int, algorithm string, opts ...Option) (BatchResult, error) {
-	if n < 1 {
-		return BatchResult{}, fmt.Errorf("repro: n must be >= 1, got %d", n)
-	}
-	f, err := factoryFor(algorithm)
+	res, err := defaultEngine.Run(context.Background(), Scenario{
+		Model:     Abstract(),
+		Algorithm: Algorithm{spec: algorithm},
+		N:         n,
+		Options:   opts,
+	})
 	if err != nil {
 		return BatchResult{}, err
 	}
-	o := buildOptions(opts)
-	g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("abstract|%s|n=%d", algorithm, n)))
-	res := slotted.RunBatch(n, f, g)
-	return BatchResult{
-		N:             n,
-		Model:         "abstract",
-		Algorithm:     algorithm,
-		CWSlots:       res.CWSlots,
-		Collisions:    res.Collisions,
-		CWSlotsAtHalf: res.HalfSlots,
-	}, nil
+	return *res.Batch, nil
 }
 
 // RunWiFiBatch simulates one batch of n stations under the IEEE 802.11g DCF
 // model with the paper's Table I parameters.
+//
+// Equivalent to Engine.Run of Scenario{Model: WiFi(), Algorithm:
+// ParseAlgorithm(algorithm), N: n, Options: opts}.
 func RunWiFiBatch(n int, algorithm string, opts ...Option) (BatchResult, error) {
-	if n < 1 {
-		return BatchResult{}, fmt.Errorf("repro: n must be >= 1, got %d", n)
-	}
-	f, err := factoryFor(algorithm)
+	res, err := defaultEngine.Run(context.Background(), Scenario{
+		Model:     WiFi(),
+		Algorithm: Algorithm{spec: algorithm},
+		N:         n,
+		Options:   opts,
+	})
 	if err != nil {
 		return BatchResult{}, err
 	}
-	o := buildOptions(opts)
-	cfg := mac.DefaultConfig()
-	cfg.PayloadBytes = o.payload
-	cfg.RTSCTS = o.rtscts
-	for _, tweak := range o.cfgTweaks {
-		tweak(&cfg)
-	}
-	g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("wifi|%s|n=%d", algorithm, n)))
-	var tracer mac.Tracer
-	if o.tracer != nil {
-		tracer = o.tracer
-	}
-	res := mac.RunBatch(cfg, n, f, g, tracer)
-	d := core.Decompose(cfg, res)
-	return BatchResult{
-		N:              n,
-		Model:          "wifi",
-		Algorithm:      algorithm,
-		CWSlots:        res.CWSlots,
-		Collisions:     res.Collisions,
-		TotalTime:      res.TotalTime,
-		HalfTime:       res.HalfTime,
-		CWSlotsAtHalf:  res.CWSlotsAtHalf,
-		MaxAckTimeouts: res.MaxAckTimeouts,
-		Decomposition:  &d,
-	}, nil
+	return *res.Batch, nil
 }
 
 // BestOfKResult reports a size-estimation run (paper Section VI).
@@ -197,43 +192,21 @@ type BestOfKResult struct {
 
 // RunBestOfK simulates BEST-OF-k followed by fixed backoff on the wifi
 // model (k = 3 and 5 in the paper).
+//
+// Equivalent to Engine.Run of Scenario{Model: WiFi(), N: n, Workload:
+// BestOfKWorkload{K: k}, Options: opts}.
 func RunBestOfK(n, k int, opts ...Option) (BestOfKResult, error) {
 	if n < 1 || k < 1 {
 		return BestOfKResult{}, fmt.Errorf("repro: need n >= 1 and k >= 1 (got n=%d k=%d)", n, k)
 	}
-	o := buildOptions(opts)
-	cfg := mac.DefaultConfig()
-	cfg.PayloadBytes = o.payload
-	for _, tweak := range o.cfgTweaks {
-		tweak(&cfg)
+	res, err := defaultEngine.Run(context.Background(), Scenario{
+		Model:    WiFi(),
+		N:        n,
+		Workload: BestOfKWorkload{K: k},
+		Options:  opts,
+	})
+	if err != nil {
+		return BestOfKResult{}, err
 	}
-	g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("bok|k=%d|n=%d", k, n)))
-	var tracer mac.Tracer
-	if o.tracer != nil {
-		tracer = o.tracer
-	}
-	res := mac.RunBestOfK(cfg, mac.DefaultBestOfK(k), n, g, tracer)
-	d := core.Decompose(cfg, res.Result)
-	ests := append([]int(nil), res.Estimates...)
-	for i := 1; i < len(ests); i++ {
-		for j := i; j > 0 && ests[j] < ests[j-1]; j-- {
-			ests[j], ests[j-1] = ests[j-1], ests[j]
-		}
-	}
-	return BestOfKResult{
-		BatchResult: BatchResult{
-			N:              n,
-			Model:          "wifi",
-			Algorithm:      fmt.Sprintf("Best-of-%d", k),
-			CWSlots:        res.CWSlots,
-			Collisions:     res.Collisions,
-			TotalTime:      res.TotalTime,
-			HalfTime:       res.HalfTime,
-			CWSlotsAtHalf:  res.CWSlotsAtHalf,
-			MaxAckTimeouts: res.MaxAckTimeouts,
-			Decomposition:  &d,
-		},
-		MedianEstimate: ests[len(ests)/2],
-		EstimationTime: res.EstimationTime,
-	}, nil
+	return *res.BestOfK, nil
 }

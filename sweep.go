@@ -1,0 +1,150 @@
+package repro
+
+// Parallel execution of scenario grids. Engine.Sweep fans scenarios × seeds
+// across the shared worker pool (internal/harness.ForEach — the same
+// primitive behind the figure harness) and streams cells back in stable
+// order; Engine.RunMany is the slice-shaped convenience for heterogeneous
+// scenario lists. Determinism is free: every run derives its RNG stream
+// from (seed, model, algorithm, n) labels, so results are bit-identical to
+// serial execution regardless of GOMAXPROCS or scheduling order.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/rng"
+)
+
+// Cell is one completed cell of a sweep grid: scenario index i, seed index
+// j, streamed in row-major (scenario-major, then seed) order.
+type Cell struct {
+	// ScenarioIndex and SeedIndex locate the cell in the input grid.
+	ScenarioIndex int
+	SeedIndex     int
+	// Seed is the seed the cell ran with (overriding any WithSeed in the
+	// scenario's options).
+	Seed uint64
+	// Result holds the outcome when Err is nil.
+	Result Result
+	// Err is the validation, unsupported-workload, or context error.
+	Err error
+}
+
+// Seeds derives n statistically independent seeds from base via
+// rng.DeriveSeed — the sweep-grid counterpart of the harness's per-trial
+// stream derivation. Seeds(base, n) is deterministic in (base, n).
+func Seeds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.DeriveSeed(base, fmt.Sprintf("sweep|trial=%d", i))
+	}
+	return out
+}
+
+// SequentialSeeds returns start, start+1, ..., start+n-1: the seed ladder
+// the legacy per-trial loops used (WithSeed(seed + trial)), for byte-exact
+// migrations of existing experiments.
+func SequentialSeeds(start uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = start + uint64(i)
+	}
+	return out
+}
+
+// Sweep runs every scenario × seed cell of the grid on the engine's worker
+// pool and streams the cells in stable row-major order: all seeds of
+// scenario 0, then scenario 1, and so on, regardless of which worker
+// finishes first. Each cell runs the scenario reseeded with its grid seed,
+// so a cell's Result is bit-identical to a serial Engine.Run (or legacy
+// Run*) call with the same seed.
+//
+// Cancelling ctx stops the sweep early: cells not yet started report
+// ctx.Err(), and the stream closes without emitting cells past the
+// cancellation point. Either drain the channel or cancel ctx when
+// abandoning it early — breaking out of the range with an uncancelled
+// context leaks the sweep's forwarding goroutine.
+//
+// Scenarios carrying WithTrace are rejected per cell: cells run
+// concurrently, and interleaving many runs into one recorder would race.
+// Trace single runs with Engine.Run.
+func (e *Engine) Sweep(ctx context.Context, scenarios []Scenario, seeds []uint64) <-chan Cell {
+	out := make(chan Cell)
+	cells := len(scenarios) * len(seeds)
+	if cells == 0 {
+		close(out)
+		return out
+	}
+	slots := make([]chan Cell, cells)
+	for i := range slots {
+		slots[i] = make(chan Cell, 1)
+	}
+
+	// Workers fill slots in whatever order the pool schedules.
+	go func() {
+		harness.ForEach(e.Workers, cells, func(i int) {
+			si, ji := i/len(seeds), i%len(seeds)
+			c := Cell{ScenarioIndex: si, SeedIndex: ji, Seed: seeds[ji]}
+			if err := ctx.Err(); err != nil {
+				c.Err = err
+			} else if err := rejectTracer(scenarios[si]); err != nil {
+				c.Err = err
+			} else {
+				c.Result, c.Err = e.Run(ctx, scenarios[si].WithOptions(WithSeed(seeds[ji])))
+			}
+			slots[i] <- c
+		})
+	}()
+
+	// The forwarder alone touches out, draining slots in stable order and
+	// stopping at the first sign of cancellation.
+	go func() {
+		defer close(out)
+		for i := range slots {
+			if ctx.Err() != nil {
+				return
+			}
+			c := <-slots[i]
+			select {
+			case out <- c:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// rejectTracer refuses scenarios that would feed a shared trace.Recorder
+// from concurrent workers; the Recorder is an unsynchronized append and a
+// merged multi-run timeline would be meaningless anyway.
+func rejectTracer(s Scenario) error {
+	if buildOptions(s.Options).tracer != nil {
+		return fmt.Errorf("repro: WithTrace is not supported in parallel execution (%s); trace single runs with Engine.Run", s)
+	}
+	return nil
+}
+
+// RunMany executes scenarios in parallel on the engine's worker pool,
+// seeding each from its own Options, and returns results in input order.
+// The returned error is the first (lowest-index) scenario error, if any;
+// results of successful scenarios are valid either way. A cancelled context
+// makes unstarted scenarios fail with ctx.Err(). Like Sweep, RunMany
+// rejects scenarios carrying WithTrace.
+func (e *Engine) RunMany(ctx context.Context, scenarios []Scenario) ([]Result, error) {
+	results := make([]Result, len(scenarios))
+	errs := make([]error, len(scenarios))
+	harness.ForEach(e.Workers, len(scenarios), func(i int) {
+		if errs[i] = rejectTracer(scenarios[i]); errs[i] != nil {
+			return
+		}
+		results[i], errs[i] = e.Run(ctx, scenarios[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
