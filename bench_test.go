@@ -3,13 +3,14 @@
 // the ablation benches DESIGN.md calls out. Each reports headline medians as
 // custom metrics so `go test -bench` output doubles as a miniature results
 // table. Full-fidelity regeneration lives in cmd/figures.
-package repro
+package repro_test
 
 import (
 	"context"
 	"runtime"
 	"testing"
 
+	"repro"
 	"repro/internal/experiments"
 	"repro/internal/harness"
 )
@@ -150,18 +151,18 @@ func BenchmarkSaturatedThroughput(b *testing.B) {
 // on a multi-core machine the parallel variant's ns/op pins the speedup
 // (≥2× on 4 cores, scaling with GOMAXPROCS).
 
-func sweepBenchGrid() ([]Scenario, []uint64) {
-	algos := PaperAlgorithmList()
-	scenarios := make([]Scenario, len(algos))
+func sweepBenchGrid() ([]repro.Scenario, []uint64) {
+	algos := repro.PaperAlgorithmList()
+	scenarios := make([]repro.Scenario, len(algos))
 	for i, a := range algos {
-		scenarios[i] = Scenario{Model: WiFi(), Algorithm: a, N: 100}
+		scenarios[i] = repro.Scenario{Model: repro.WiFi(), Algorithm: a, N: 100}
 	}
-	return scenarios, SequentialSeeds(1, 8)
+	return scenarios, repro.SequentialSeeds(1, 8)
 }
 
 func runSweepBench(b *testing.B, workers int) {
 	scenarios, seeds := sweepBenchGrid()
-	eng := Engine{Workers: workers}
+	eng := repro.Engine{Workers: workers}
 	for i := 0; i < b.N; i++ {
 		cells := 0
 		for cell := range eng.Sweep(context.Background(), scenarios, seeds) {
@@ -184,7 +185,7 @@ func BenchmarkSweepParallel(b *testing.B) { runSweepBench(b, 0) }
 
 func BenchmarkWiFiBatchBEB100(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := RunWiFiBatch(100, BEB, WithSeed(uint64(i))); err != nil {
+		if _, err := repro.RunWiFiBatch(100, repro.BEB, repro.WithSeed(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -192,7 +193,7 @@ func BenchmarkWiFiBatchBEB100(b *testing.B) {
 
 func BenchmarkAbstractBatchBEB1000(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := RunAbstractBatch(1000, BEB, WithSeed(uint64(i))); err != nil {
+		if _, err := repro.RunAbstractBatch(1000, repro.BEB, repro.WithSeed(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -200,7 +201,7 @@ func BenchmarkAbstractBatchBEB1000(b *testing.B) {
 
 func BenchmarkBestOfK100(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := RunBestOfK(100, 3, WithSeed(uint64(i))); err != nil {
+		if _, err := repro.RunBestOfK(100, 3, repro.WithSeed(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -208,16 +209,16 @@ func BenchmarkBestOfK100(b *testing.B) {
 
 func BenchmarkTreeBatch1000(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := RunTreeBatch(1000, WithSeed(uint64(i))); err != nil {
+		if _, err := repro.RunTreeBatch(1000, repro.WithSeed(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkContinuousSaturated20(b *testing.B) {
-	std := WithConfig(func(c *MACConfig) { c.CWMin = 16 })
+	std := repro.WithConfig(func(c *repro.MACConfig) { c.CWMin = 16 })
 	for i := 0; i < b.N; i++ {
-		if _, err := RunContinuousTraffic(20, BEB, Saturated(), 50_000_000, WithSeed(uint64(i)), std); err != nil {
+		if _, err := repro.RunContinuousTraffic(20, repro.BEB, repro.Saturated(), 50_000_000, repro.WithSeed(uint64(i)), std); err != nil {
 			b.Fatal(err)
 		}
 	}

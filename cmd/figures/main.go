@@ -1,14 +1,20 @@
-// Command figures regenerates the paper's figures and tables.
+// Command figures regenerates the paper's figures and tables. Every
+// experiment runs through the public Scenario grid + Engine.Aggregate
+// pipeline (see EXPERIMENTS.md), so regeneration shares the worker pool and
+// stats procedure with API users.
 //
 // Usage:
 //
 //	figures -list                      # show available experiments
 //	figures -fig fig7                  # regenerate one figure
+//	figures -fig fig3,fig7,tab3        # regenerate a comma-separated set
 //	figures -fig all -out results      # regenerate everything, write CSVs
 //	figures -fig fig15 -trials 50 -nmax 100000 -step 4000   # full fidelity
 //
 // Without fidelity flags each experiment uses its paper-default trial count
 // and axis; -quick switches to the reduced configuration used by tests.
+// Unknown ids anywhere in the -fig list abort with a non-zero exit before
+// anything runs, so a typo cannot silently drop a figure from a batch.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -24,7 +31,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "experiment id (fig3..fig19, tab3, decomp, rts, minpkt, ablations) or 'all'")
+		fig     = flag.String("fig", "", "comma-separated experiment ids (fig3..fig19, tab3, decomp, rts, minpkt, ablations) or 'all'")
 		list    = flag.Bool("list", false, "list experiments and the Table I configuration")
 		out     = flag.String("out", "", "directory for CSV output (created if missing)")
 		plot    = flag.Bool("plot", true, "render ASCII plots alongside tables")
@@ -60,17 +67,39 @@ func main() {
 		}
 	}
 
+	// Resolve the id list up front: any unknown id — even alongside valid
+	// ones — aborts before a single experiment runs, rather than silently
+	// skipping it at the end of a long batch.
 	gens := append(experiments.All(), experiments.Extras()...)
+	wantTrace := *fig == "all"
 	if *fig != "all" {
-		g, ok := experiments.ByID(*fig)
-		if !ok && *fig != "fig13" {
-			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (see -list)\n", *fig)
+		gens = nil
+		var unknown []string
+		seen := map[string]bool{}
+		for _, id := range strings.Split(*fig, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" || seen[id] {
+				continue
+			}
+			seen[id] = true
+			if id == "fig13" {
+				wantTrace = true
+				continue
+			}
+			g, ok := experiments.ByID(id)
+			if !ok {
+				unknown = append(unknown, id)
+				continue
+			}
+			gens = append(gens, g)
+		}
+		if len(unknown) > 0 {
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment(s) %s (see -list)\n", strings.Join(unknown, ", "))
 			os.Exit(2)
 		}
-		if *fig == "fig13" {
-			gens = nil
-		} else {
-			gens = []experiments.Generator{g}
+		if len(gens) == 0 && !wantTrace {
+			fmt.Fprintln(os.Stderr, "figures: -fig needs at least one experiment id (see -list)")
+			os.Exit(2)
 		}
 	}
 
@@ -82,7 +111,7 @@ func main() {
 	}
 
 	// Figure 13 is a timeline, not a table; include it for 'all' or by id.
-	if *fig == "all" || *fig == "fig13" {
+	if wantTrace {
 		render, rec := experiments.Figure13(cfg)
 		fmt.Println(render)
 		if *out != "" {

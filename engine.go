@@ -12,7 +12,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mac"
-	"repro/internal/rng"
 	"repro/internal/slotted"
 )
 
@@ -44,6 +43,13 @@ func Abstract() Model { return abstractModel{} }
 // parameters: a collision costs a full transmission plus an ACK timeout.
 func WiFi() Model { return wifiModel{} }
 
+// AbstractUnaligned returns the abstract slotted model with per-station
+// contention windows instead of globally aligned ones — the MAC's window
+// semantics priced in the abstract currency. It exists for the alignment
+// ablation DESIGN.md documents; the paper's analysis assumes aligned
+// windows, which Abstract implements.
+func AbstractUnaligned() Model { return abstractUnalignedModel{} }
+
 // errUnsupported formats the model × workload incompatibility error.
 func errUnsupported(m Model, w Workload) error {
 	return fmt.Errorf("repro: the %s model does not support the %s workload",
@@ -63,7 +69,7 @@ func (m abstractModel) run(_ context.Context, s Scenario, o options) (Result, er
 		if err != nil {
 			return Result{}, err
 		}
-		g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("abstract|%s|n=%d", s.Algorithm, s.N)))
+		g := o.stream(fmt.Sprintf("abstract|%s|n=%d", s.Algorithm, s.N))
 		res := slotted.RunBatch(s.N, f, g)
 		return Result{Batch: &BatchResult{
 			N:             s.N,
@@ -74,12 +80,40 @@ func (m abstractModel) run(_ context.Context, s Scenario, o options) (Result, er
 			CWSlotsAtHalf: res.HalfSlots,
 		}}, nil
 	case TreeWorkload:
-		g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("tree|n=%d", s.N)))
+		g := o.stream(fmt.Sprintf("tree|n=%d", s.N))
 		res := slotted.RunTreeBatch(s.N, g)
 		return Result{Batch: &BatchResult{
 			N:             s.N,
 			Model:         m.Name(),
 			Algorithm:     "TREE",
+			CWSlots:       res.CWSlots,
+			Collisions:    res.Collisions,
+			CWSlotsAtHalf: res.HalfSlots,
+		}}, nil
+	default:
+		return Result{}, errUnsupported(m, s.workload())
+	}
+}
+
+// --- Abstract model, per-station windows (alignment ablation) ---------------
+
+type abstractUnalignedModel struct{}
+
+func (abstractUnalignedModel) Name() string { return "abstract-unaligned" }
+
+func (m abstractUnalignedModel) run(_ context.Context, s Scenario, o options) (Result, error) {
+	switch s.workload().(type) {
+	case SingleBatch:
+		f, err := s.Algorithm.factory()
+		if err != nil {
+			return Result{}, err
+		}
+		g := o.stream(fmt.Sprintf("abstract-unaligned|%s|n=%d", s.Algorithm, s.N))
+		res := slotted.RunBatchUnaligned(s.N, f, g)
+		return Result{Batch: &BatchResult{
+			N:             s.N,
+			Model:         m.Name(),
+			Algorithm:     s.Algorithm.String(),
 			CWSlots:       res.CWSlots,
 			Collisions:    res.Collisions,
 			CWSlotsAtHalf: res.HalfSlots,
@@ -121,20 +155,23 @@ func (m wifiModel) run(_ context.Context, s Scenario, o options) (Result, error)
 			return Result{}, err
 		}
 		cfg := m.config(o)
-		g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("wifi|%s|n=%d", s.Algorithm, s.N)))
+		g := o.stream(fmt.Sprintf("wifi|%s|n=%d", s.Algorithm, s.N))
 		res := mac.RunBatch(cfg, s.N, f, g, m.tracer(o))
 		d := core.Decompose(cfg, res)
 		return Result{Batch: &BatchResult{
-			N:              s.N,
-			Model:          m.Name(),
-			Algorithm:      s.Algorithm.String(),
-			CWSlots:        res.CWSlots,
-			Collisions:     res.Collisions,
-			TotalTime:      res.TotalTime,
-			HalfTime:       res.HalfTime,
-			CWSlotsAtHalf:  res.CWSlotsAtHalf,
-			MaxAckTimeouts: res.MaxAckTimeouts,
-			Decomposition:  &d,
+			N:                 s.N,
+			Model:             m.Name(),
+			Algorithm:         s.Algorithm.String(),
+			CWSlots:           res.CWSlots,
+			Collisions:        res.Collisions,
+			TotalTime:         res.TotalTime,
+			HalfTime:          res.HalfTime,
+			CWSlotsAtHalf:     res.CWSlotsAtHalf,
+			MaxAckTimeouts:    res.MaxAckTimeouts,
+			MaxAckTimeoutWait: res.MaxAckTimeoutWait,
+			Captures:          res.Captures,
+			Stations:          append([]StationStats(nil), res.Stations...),
+			Decomposition:     &d,
 		}}, nil
 
 	case BestOfKWorkload:
@@ -145,7 +182,7 @@ func (m wifiModel) run(_ context.Context, s Scenario, o options) (Result, error)
 		for _, tweak := range o.cfgTweaks {
 			tweak(&cfg)
 		}
-		g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("bok|k=%d|n=%d", w.K, s.N)))
+		g := o.stream(fmt.Sprintf("bok|k=%d|n=%d", w.K, s.N))
 		res := mac.RunBestOfK(cfg, mac.DefaultBestOfK(w.K), s.N, g, m.tracer(o))
 		d := core.Decompose(cfg, res.Result)
 		ests := append([]int(nil), res.Estimates...)
@@ -156,16 +193,19 @@ func (m wifiModel) run(_ context.Context, s Scenario, o options) (Result, error)
 		}
 		return Result{BestOfK: &BestOfKResult{
 			BatchResult: BatchResult{
-				N:              s.N,
-				Model:          m.Name(),
-				Algorithm:      fmt.Sprintf("Best-of-%d", w.K),
-				CWSlots:        res.CWSlots,
-				Collisions:     res.Collisions,
-				TotalTime:      res.TotalTime,
-				HalfTime:       res.HalfTime,
-				CWSlotsAtHalf:  res.CWSlotsAtHalf,
-				MaxAckTimeouts: res.MaxAckTimeouts,
-				Decomposition:  &d,
+				N:                 s.N,
+				Model:             m.Name(),
+				Algorithm:         fmt.Sprintf("Best-of-%d", w.K),
+				CWSlots:           res.CWSlots,
+				Collisions:        res.Collisions,
+				TotalTime:         res.TotalTime,
+				HalfTime:          res.HalfTime,
+				CWSlotsAtHalf:     res.CWSlotsAtHalf,
+				MaxAckTimeouts:    res.MaxAckTimeouts,
+				MaxAckTimeoutWait: res.MaxAckTimeoutWait,
+				Captures:          res.Captures,
+				Stations:          append([]StationStats(nil), res.Stations...),
+				Decomposition:     &d,
 			},
 			MedianEstimate: ests[len(ests)/2],
 			EstimationTime: res.EstimationTime,
@@ -181,7 +221,7 @@ func (m wifiModel) run(_ context.Context, s Scenario, o options) (Result, error)
 			return Result{}, err
 		}
 		cfg := m.config(o)
-		g := rng.New(rng.DeriveSeed(o.seed, fmt.Sprintf("traffic|%s|%s|n=%d", s.Algorithm, proc.Name(), s.N)))
+		g := o.stream(fmt.Sprintf("traffic|%s|%s|n=%d", s.Algorithm, proc.Name(), s.N))
 		res := mac.RunContinuous(cfg, s.N, f, proc, w.Horizon, g, m.tracer(o))
 		return Result{Traffic: &TrafficResult{
 			N:              s.N,

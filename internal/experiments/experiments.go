@@ -8,10 +8,10 @@ package experiments
 import (
 	"fmt"
 
+	"repro"
 	"repro/internal/backoff"
 	"repro/internal/harness"
 	"repro/internal/mac"
-	"repro/internal/rng"
 )
 
 // Config tunes experiment fidelity. Zero values select each experiment's
@@ -55,10 +55,6 @@ func (c Config) nAxis(defMax, defStep int) []float64 {
 		lo = max
 	}
 	return harness.IntXs(lo, max, step)
-}
-
-func (c Config) spec(xs []float64, trials int) harness.SweepSpec {
-	return harness.SweepSpec{Xs: xs, Trials: trials, Seed: c.Seed, Workers: c.Workers}
 }
 
 // Generator regenerates one experiment.
@@ -123,23 +119,26 @@ func ByID(id string) (Generator, bool) {
 	return Generator{}, false
 }
 
-// macTrial builds a TrialFunc measuring one metric of a MAC batch run.
-func macTrial(cfg mac.Config, f backoff.Factory, metric func(mac.Result) float64) harness.TrialFunc {
-	return func(x float64, g *rng.Source) float64 {
-		return metric(mac.RunBatch(cfg, int(x), f, g, nil))
+// macScenario builds the standard wifi-model Scenario for one algorithm and
+// batch size with the figure's full MAC configuration pinned.
+func macScenario(cfg mac.Config, algo repro.Algorithm) func(x float64) repro.Scenario {
+	return func(x float64) repro.Scenario {
+		return repro.Scenario{Model: repro.WiFi(), Algorithm: algo, N: int(x),
+			Options: []repro.Option{wholeConfig(cfg)}}
 	}
 }
 
-// macSweepTable runs the standard four-algorithm MAC sweep.
+// macSweepTable runs the standard four-algorithm MAC sweep through the
+// public aggregation pipeline, one scenario grid per algorithm.
 func macSweepTable(c Config, id, title, ylabel string, cfg mac.Config, defTrials int,
-	metric func(mac.Result) float64) harness.Table {
+	metric func(repro.BatchResult) float64) harness.Table {
 	xs := c.nAxis(150, 10)
-	fns := map[string]harness.TrialFunc{}
-	for _, f := range backoff.PaperAlgorithms() {
-		fns[f().Name()] = macTrial(cfg, f, metric)
-	}
+	m := batchMetric(ylabel, metric)
 	t := harness.Table{ID: id, Title: title, XLabel: "n", YLabel: ylabel}
-	t.Series = harness.SweepAll(c.spec(xs, c.trials(defTrials)), fns, backoff.PaperAlgorithmNames())
+	for _, name := range backoff.PaperAlgorithmNames() {
+		t.Series = append(t.Series,
+			c.series(name, xs, c.trials(defTrials), m, macScenario(cfg, repro.MustAlgorithm(name))))
+	}
 	addBaselineNotes(&t)
 	return t
 }

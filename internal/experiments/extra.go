@@ -4,12 +4,11 @@ import (
 	"fmt"
 	"time"
 
+	"repro"
 	"repro/internal/backoff"
 	"repro/internal/harness"
 	"repro/internal/mac"
 	"repro/internal/phy"
-	"repro/internal/rng"
-	"repro/internal/slotted"
 )
 
 // usDur converts microseconds (as float) to a duration.
@@ -28,22 +27,29 @@ func RTSCTSTable(c Config) harness.Table {
 	if c.NStep > 0 {
 		xs = []float64{64}
 	}
-	fn := func(f backoff.Factory, rts bool) harness.TrialFunc {
-		return func(x float64, g *rng.Source) float64 {
+	totalUS := batchMetric("total_time_us", func(r repro.BatchResult) float64 { return us(r.TotalTime) })
+	build := func(algo repro.Algorithm, rts bool) func(x float64) repro.Scenario {
+		return func(x float64) repro.Scenario {
 			cfg := mac.DefaultConfig()
 			cfg.PayloadBytes = int(x)
 			cfg.RTSCTS = rts
-			return us(mac.RunBatch(cfg, n, f, g, nil).TotalTime)
+			return repro.Scenario{Model: repro.WiFi(), Algorithm: algo, N: n,
+				Options: []repro.Option{wholeConfig(cfg)}}
 		}
 	}
 	t := harness.Table{ID: "rts", Title: fmt.Sprintf("Total time (µs) with RTS/CTS, n=%d", n),
 		XLabel: "payload (bytes)", YLabel: "total time (µs)"}
-	t.Series = harness.SweepAll(c.spec(xs, trials), map[string]harness.TrialFunc{
-		"BEB":    fn(backoff.NewBEB, true),
-		"LLB":    fn(backoff.NewLLB, true),
-		"BEB-no": fn(backoff.NewBEB, false),
-		"LLB-no": fn(backoff.NewLLB, false),
-	}, []string{"BEB", "LLB", "BEB-no", "LLB-no"})
+	for _, s := range []struct {
+		name string
+		algo string
+		rts  bool
+	}{
+		{"BEB", "BEB", true}, {"LLB", "LLB", true},
+		{"BEB-no", "BEB", false}, {"LLB-no", "LLB", false},
+	} {
+		t.Series = append(t.Series,
+			c.series(s.name, xs, trials, totalUS, build(repro.MustAlgorithm(s.algo), s.rts)))
+	}
 	for _, x := range xs {
 		b, l := t.SeriesByName("BEB").Value(x), t.SeriesByName("LLB").Value(x)
 		if b > 0 {
@@ -66,16 +72,13 @@ func MinPacketTable(c Config) harness.Table {
 	cfg := mac.DefaultConfig()
 	cfg.PayloadBytes = 12
 
-	fns := map[string]harness.TrialFunc{}
-	for _, f := range backoff.PaperAlgorithms() {
-		f := f
-		fns[f().Name()] = func(x float64, g *rng.Source) float64 {
-			return us(mac.RunBatch(cfg, int(x), f, g, nil).TotalTime)
-		}
-	}
+	totalUS := batchMetric("total_time_us", func(r repro.BatchResult) float64 { return us(r.TotalTime) })
 	t := harness.Table{ID: "minpkt", Title: "Total time (µs), 12B payload (minimum packet)",
 		XLabel: "n", YLabel: "total time (µs)"}
-	t.Series = harness.SweepAll(c.spec([]float64{float64(n)}, trials), fns, backoff.PaperAlgorithmNames())
+	for _, name := range backoff.PaperAlgorithmNames() {
+		t.Series = append(t.Series,
+			c.series(name, []float64{float64(n)}, trials, totalUS, macScenario(cfg, repro.MustAlgorithm(name))))
+	}
 	addBaselineNotes(&t)
 	return t
 }
@@ -91,49 +94,41 @@ func AblationCapture(c Config) harness.Table {
 		n = c.NMax
 	}
 	trials := c.trials(11)
-	fn := func(nearFar bool) harness.TrialFunc {
-		return func(x float64, g *rng.Source) float64 {
+	captures := batchMetric("captures", func(r repro.BatchResult) float64 { return float64(r.Captures) })
+	build := func(nearFar bool) func(x float64) repro.Scenario {
+		return func(x float64) repro.Scenario {
 			cfg := mac.DefaultConfig()
-			res := runWithLayout(cfg, int(x), nearFar, g)
-			return float64(res.Captures)
+			if nearFar {
+				// The near/far geometry is not a paper experiment; it rides
+				// in through the config's layout hook.
+				cfg.Layout = phy.NearFarLayout
+			}
+			return repro.Scenario{Model: repro.WiFi(), Algorithm: repro.MustAlgorithm("BEB"),
+				N: int(x), Options: []repro.Option{wholeConfig(cfg)}}
 		}
 	}
 	t := harness.Table{ID: "ablation-capture", Title: "Captured frames: grid vs near/far layout",
 		XLabel: "n", YLabel: "captures"}
-	t.Series = harness.SweepAll(c.spec([]float64{float64(n)}, trials), map[string]harness.TrialFunc{
-		"grid":    fn(false),
-		"nearfar": fn(true),
-	}, []string{"grid", "nearfar"})
+	t.Series = append(t.Series, c.series("grid", []float64{float64(n)}, trials, captures, build(false)))
+	t.Series = append(t.Series, c.series("nearfar", []float64{float64(n)}, trials, captures, build(true)))
 	return t
 }
 
-// runWithLayout is AblationCapture's helper; the near/far geometry is not
-// part of any paper experiment, so it lives here rather than in mac.
-func runWithLayout(cfg mac.Config, n int, nearFar bool, g *rng.Source) mac.Result {
-	if !nearFar {
-		return mac.RunBatch(cfg, n, backoff.NewBEB, g, nil)
-	}
-	return mac.RunBatchAt(cfg, phy.NearFarLayout(n), backoff.NewBEB, g, nil)
-}
-
 // AblationAlignment compares the aligned-window abstract model (the
-// analysis's semantics) with per-station windows (the MAC's semantics).
+// analysis's semantics) with per-station windows (the MAC's semantics),
+// now two peer Models behind the public engine.
 func AblationAlignment(c Config) harness.Table {
 	xs := c.nAxis(150, 50)
 	trials := c.trials(15)
-	fns := map[string]harness.TrialFunc{}
-	for _, mode := range []string{"aligned", "unaligned"} {
-		mode := mode
-		fns[mode] = func(x float64, g *rng.Source) float64 {
-			if mode == "aligned" {
-				return float64(slotted.RunBatch(int(x), backoff.NewBEB, g).Collisions)
-			}
-			return float64(slotted.RunBatchUnaligned(int(x), backoff.NewBEB, g).Collisions)
+	build := func(model repro.Model) func(x float64) repro.Scenario {
+		return func(x float64) repro.Scenario {
+			return repro.Scenario{Model: model, Algorithm: repro.MustAlgorithm("BEB"), N: int(x)}
 		}
 	}
 	t := harness.Table{ID: "ablation-align", Title: "BEB collisions: aligned vs per-station windows",
 		XLabel: "n", YLabel: "collisions"}
-	t.Series = harness.SweepAll(c.spec(xs, trials), fns, []string{"aligned", "unaligned"})
+	t.Series = append(t.Series, c.series("aligned", xs, trials, collisions, build(repro.Abstract())))
+	t.Series = append(t.Series, c.series("unaligned", xs, trials, collisions, build(repro.AbstractUnaligned())))
 	return t
 }
 
@@ -150,20 +145,21 @@ func AblationAckTimeout(c Config) harness.Table {
 	}
 	trials := c.trials(11)
 	timeouts := []float64{50, 75, 150, 300, 600}
-	fn := func(x float64, g *rng.Source) float64 {
-		cfg := mac.DefaultConfig()
-		cfg.AckTimeout = usDur(x)
-		res := mac.RunBatch(cfg, n, backoff.NewBEB, g, nil)
+	wait := batchMetric("ack_timeout_wait_us", func(r repro.BatchResult) float64 {
 		var wait float64
-		for _, s := range res.Stations {
+		for _, s := range r.Stations {
 			wait += us(s.AckTimeoutWait)
 		}
 		return wait
+	})
+	build := func(x float64) repro.Scenario {
+		cfg := mac.DefaultConfig()
+		cfg.AckTimeout = usDur(x)
+		return repro.Scenario{Model: repro.WiFi(), Algorithm: repro.MustAlgorithm("BEB"), N: n,
+			Options: []repro.Option{wholeConfig(cfg)}}
 	}
 	t := harness.Table{ID: "ablation-ackto", Title: fmt.Sprintf("BEB aggregate ACK-timeout wait vs timeout value, n=%d", n),
 		XLabel: "ACK timeout (µs)", YLabel: "aggregate timeout wait (µs)"}
-	spec := c.spec(timeouts, trials)
-	spec.Name = "BEB"
-	t.Series = []harness.Series{harness.Sweep(spec, fn)}
+	t.Series = []harness.Series{c.series("BEB", timeouts, trials, wait, build)}
 	return t
 }

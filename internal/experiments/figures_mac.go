@@ -3,6 +3,7 @@ package experiments
 import (
 	"time"
 
+	"repro"
 	"repro/internal/harness"
 	"repro/internal/mac"
 )
@@ -15,7 +16,7 @@ func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond)
 func Figure3(c Config) harness.Table {
 	cfg := mac.DefaultConfig()
 	return macSweepTable(c, "fig3", "CW slots, 64B payload", "CW slots", cfg, 30,
-		func(r mac.Result) float64 { return float64(r.CWSlots) })
+		func(r repro.BatchResult) float64 { return float64(r.CWSlots) })
 }
 
 // Figure4 regenerates Figure 4: CW slots vs n with a 1024-byte payload.
@@ -23,7 +24,7 @@ func Figure4(c Config) harness.Table {
 	cfg := mac.DefaultConfig()
 	cfg.PayloadBytes = 1024
 	return macSweepTable(c, "fig4", "CW slots, 1024B payload", "CW slots", cfg, 30,
-		func(r mac.Result) float64 { return float64(r.CWSlots) })
+		func(r repro.BatchResult) float64 { return float64(r.CWSlots) })
 }
 
 // Figure6 regenerates Figure 6: CW slots consumed by the time n/2 packets
@@ -31,14 +32,14 @@ func Figure4(c Config) harness.Table {
 func Figure6(c Config) harness.Table {
 	cfg := mac.DefaultConfig()
 	return macSweepTable(c, "fig6", "CW slots to finish n/2, 64B", "CW slots (n/2)", cfg, 20,
-		func(r mac.Result) float64 { return float64(r.CWSlotsAtHalf) })
+		func(r repro.BatchResult) float64 { return float64(r.CWSlotsAtHalf) })
 }
 
 // Figure7 regenerates Figure 7: total time (µs) vs n, 64-byte payload.
 func Figure7(c Config) harness.Table {
 	cfg := mac.DefaultConfig()
 	return macSweepTable(c, "fig7", "Total time (µs), 64B", "total time (µs)", cfg, 30,
-		func(r mac.Result) float64 { return us(r.TotalTime) })
+		func(r repro.BatchResult) float64 { return us(r.TotalTime) })
 }
 
 // Figure8 regenerates Figure 8: total time (µs) vs n, 1024-byte payload.
@@ -46,14 +47,14 @@ func Figure8(c Config) harness.Table {
 	cfg := mac.DefaultConfig()
 	cfg.PayloadBytes = 1024
 	return macSweepTable(c, "fig8", "Total time (µs), 1024B", "total time (µs)", cfg, 30,
-		func(r mac.Result) float64 { return us(r.TotalTime) })
+		func(r repro.BatchResult) float64 { return us(r.TotalTime) })
 }
 
 // Figure9 regenerates Figure 9: time (µs) until n/2 packets finished, 64B.
 func Figure9(c Config) harness.Table {
 	cfg := mac.DefaultConfig()
 	return macSweepTable(c, "fig9", "Time to n/2 (µs), 64B", "time for n/2 (µs)", cfg, 30,
-		func(r mac.Result) float64 { return us(r.HalfTime) })
+		func(r repro.BatchResult) float64 { return us(r.HalfTime) })
 }
 
 // Figure10 regenerates Figure 10: time until n/2 packets finished, 1024B.
@@ -61,14 +62,14 @@ func Figure10(c Config) harness.Table {
 	cfg := mac.DefaultConfig()
 	cfg.PayloadBytes = 1024
 	return macSweepTable(c, "fig10", "Time to n/2 (µs), 1024B", "time for n/2 (µs)", cfg, 30,
-		func(r mac.Result) float64 { return us(r.HalfTime) })
+		func(r repro.BatchResult) float64 { return us(r.HalfTime) })
 }
 
 // Figure11 regenerates Figure 11: maximum ACK timeouts over stations, 64B.
 func Figure11(c Config) harness.Table {
 	cfg := mac.DefaultConfig()
 	return macSweepTable(c, "fig11", "Max ACK timeouts per station, 64B", "max ACK timeouts", cfg, 30,
-		func(r mac.Result) float64 { return float64(r.MaxAckTimeouts) })
+		func(r repro.BatchResult) float64 { return float64(r.MaxAckTimeouts) })
 }
 
 // Figure12 regenerates Figure 12: time the max-timeout station spent
@@ -76,5 +77,5 @@ func Figure11(c Config) harness.Table {
 func Figure12(c Config) harness.Table {
 	cfg := mac.DefaultConfig()
 	return macSweepTable(c, "fig12", "Max ACK-timeout wait (µs), 64B", "timeout wait (µs)", cfg, 30,
-		func(r mac.Result) float64 { return us(r.MaxAckTimeoutWait) })
+		func(r repro.BatchResult) float64 { return us(r.MaxAckTimeoutWait) })
 }

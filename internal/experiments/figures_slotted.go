@@ -3,29 +3,34 @@ package experiments
 import (
 	"fmt"
 
+	"repro"
 	"repro/internal/backoff"
 	"repro/internal/harness"
-	"repro/internal/rng"
-	"repro/internal/slotted"
 )
 
-// slottedTrial measures one metric of an abstract-model batch run.
-func slottedTrial(f backoff.Factory, metric func(slotted.Result) float64) harness.TrialFunc {
-	return func(x float64, g *rng.Source) float64 {
-		return metric(slotted.RunBatch(int(x), f, g))
+// abstractScenario builds the abstract-model Scenario for one algorithm
+// and batch size.
+func abstractScenario(algo repro.Algorithm) func(x float64) repro.Scenario {
+	return func(x float64) repro.Scenario {
+		return repro.Scenario{Model: repro.Abstract(), Algorithm: algo, N: int(x)}
 	}
 }
+
+// cwSlots and collisions are the two abstract-model figure metrics.
+var (
+	cwSlots    = batchMetric("cw_slots", func(r repro.BatchResult) float64 { return float64(r.CWSlots) })
+	collisions = batchMetric("collisions", func(r repro.BatchResult) float64 { return float64(r.Collisions) })
+)
 
 // Figure5 regenerates Figure 5: CW slots vs n under the pure abstract model
 // (the paper's "simple Java simulation"), 50 trials.
 func Figure5(c Config) harness.Table {
 	xs := c.nAxis(150, 10)
-	fns := map[string]harness.TrialFunc{}
-	for _, f := range backoff.PaperAlgorithms() {
-		fns[f().Name()] = slottedTrial(f, func(r slotted.Result) float64 { return float64(r.CWSlots) })
-	}
 	t := harness.Table{ID: "fig5", Title: "CW slots (abstract model)", XLabel: "n", YLabel: "CW slots"}
-	t.Series = harness.SweepAll(c.spec(xs, c.trials(50)), fns, backoff.PaperAlgorithmNames())
+	for _, name := range backoff.PaperAlgorithmNames() {
+		t.Series = append(t.Series,
+			c.series(name, xs, c.trials(50), cwSlots, abstractScenario(repro.MustAlgorithm(name))))
+	}
 	addBaselineNotes(&t)
 	return t
 }
@@ -43,12 +48,11 @@ func Figure15(c Config) harness.Table {
 		c.NStep = 20_000
 	}
 	xs := c.nAxis(c.NMax, c.NStep)
-	fns := map[string]harness.TrialFunc{}
-	for _, f := range backoff.PaperAlgorithms() {
-		fns[f().Name()] = slottedTrial(f, func(r slotted.Result) float64 { return float64(r.CWSlots) })
-	}
 	t := harness.Table{ID: "fig15", Title: "CW slots at large n (abstract model)", XLabel: "n", YLabel: "CW slots"}
-	t.Series = harness.SweepAll(c.spec(xs, c.trials(15)), fns, backoff.PaperAlgorithmNames())
+	for _, name := range backoff.PaperAlgorithmNames() {
+		t.Series = append(t.Series,
+			c.series(name, xs, c.trials(15), cwSlots, abstractScenario(repro.MustAlgorithm(name))))
+	}
 	// The oddity of Section V-A(i): at small n LB beats LLB, at large n the
 	// asymptotics win. Record which regime the sweep ended in.
 	lb, llb := t.SeriesByName("LB"), t.SeriesByName("LLB")
@@ -78,12 +82,8 @@ func Figure16(c Config) harness.Table {
 	trials := c.trials(15)
 
 	med := map[string]harness.Series{}
-	for _, f := range backoff.PaperAlgorithms() {
-		name := f().Name()
-		spec := c.spec(xs, trials)
-		spec.Name = name
-		med[name] = harness.Sweep(spec, slottedTrial(f,
-			func(r slotted.Result) float64 { return float64(r.Collisions) }))
+	for _, name := range backoff.PaperAlgorithmNames() {
+		med[name] = c.series(name, xs, trials, collisions, abstractScenario(repro.MustAlgorithm(name)))
 	}
 	t := harness.Table{ID: "fig16", Title: "Collision ratio vs STB (abstract model)",
 		XLabel: "n", YLabel: "ratio of collisions"}
@@ -110,13 +110,12 @@ func TableIII(c Config) harness.Table {
 	for n := 512; n <= c.NMax; n *= 4 {
 		xs = append(xs, float64(n))
 	}
-	fns := map[string]harness.TrialFunc{}
-	for _, f := range backoff.PaperAlgorithms() {
-		fns[f().Name()] = slottedTrial(f, func(r slotted.Result) float64 { return float64(r.Collisions) })
-	}
 	t := harness.Table{ID: "tab3", Title: "Disjoint collisions (Table III empirical)",
 		XLabel: "n", YLabel: "collisions"}
-	t.Series = harness.SweepAll(c.spec(xs, c.trials(9)), fns, backoff.PaperAlgorithmNames())
+	for _, name := range backoff.PaperAlgorithmNames() {
+		t.Series = append(t.Series,
+			c.series(name, xs, c.trials(9), collisions, abstractScenario(repro.MustAlgorithm(name))))
+	}
 	for _, s := range t.Series {
 		if len(s.Points) < 2 {
 			continue

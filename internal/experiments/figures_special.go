@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"repro/internal/backoff"
+	"repro"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/mac"
@@ -22,8 +23,17 @@ func Figure13(c Config) (string, *trace.Recorder) {
 	if c.NMax > 0 && c.NMax < n {
 		n = c.NMax
 	}
-	g := rng.New(rng.DeriveSeed(c.Seed, "fig13"))
-	mac.RunBatch(mac.DefaultConfig(), n, backoff.NewBEB, g, rec)
+	// A single traced run goes through Engine.Run (sweeps reject tracers);
+	// the raw seed reproduces the legacy "fig13" stream.
+	sc := repro.Scenario{Model: repro.WiFi(), Algorithm: repro.MustAlgorithm("BEB"), N: n,
+		Options: []repro.Option{
+			repro.WithRawSeed(),
+			repro.WithSeed(rng.DeriveSeed(c.Seed, "fig13")),
+			repro.WithTrace(rec),
+		}}
+	if _, err := c.engine().Run(context.Background(), sc); err != nil {
+		panic(fmt.Sprintf("experiments: fig13: %v", err))
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 13 — execution of BEB with %d stations (█ tx, x ACK timeout, * success)\n", n)
 	if err := rec.Render(&sb, trace.RenderOptions{Width: 110, ShowAP: true}); err != nil {
@@ -35,6 +45,11 @@ func Figure13(c Config) (string, *trace.Recorder) {
 // Figure14 regenerates Figure 14: the per-trial difference in total time
 // between LLB and BEB at n = 150 as the payload grows from 100 to 1000
 // bytes, with the paper's linear-regression significance test on the trend.
+//
+// The metric is a paired difference no single Result exposes, so the figure
+// sweeps both algorithms' scenarios through the engine and folds the diffs
+// into the public Aggregator via Observe, with the outlier filter off (the
+// paper fits the raw per-trial scatter).
 func Figure14(c Config) harness.Table {
 	n := 150
 	if c.NMax > 0 {
@@ -46,30 +61,60 @@ func Figure14(c Config) harness.Table {
 	}
 	trials := c.trials(30)
 
-	diff := func(x float64, g *rng.Source) float64 {
+	// Scenario pairs: cell (2p, t) is LLB at payload p, (2p+1, t) its BEB
+	// mate. The legacy harness derived one stream per (payload, trial) and
+	// split it with Derive("llb")/Derive("beb"); ChildSeed transports those
+	// exact child streams through the grid as raw seeds.
+	scenarios := make([]repro.Scenario, 0, 2*len(payloads))
+	for _, p := range payloads {
 		cfg := mac.DefaultConfig()
-		cfg.PayloadBytes = int(x)
-		llb := mac.RunBatch(cfg, n, backoff.NewLLB, g.Derive("llb"), nil)
-		beb := mac.RunBatch(cfg, n, backoff.NewBEB, g.Derive("beb"), nil)
-		return us(llb.TotalTime) - us(beb.TotalTime)
+		cfg.PayloadBytes = int(p)
+		for _, algo := range []string{"LLB", "BEB"} {
+			scenarios = append(scenarios, repro.Scenario{
+				Model: repro.WiFi(), Algorithm: repro.MustAlgorithm(algo), N: n,
+				Options: []repro.Option{wholeConfig(cfg), repro.WithRawSeed()},
+			})
+		}
 	}
-	spec := c.spec(payloads, trials)
-	spec.Name = "LLB-BEB"
-	spec.KeepOutliers = true // the paper fits raw per-trial scatter
-	series, raw := harness.SweepRaw(spec, diff)
+	seed := func(si, ti int) uint64 {
+		base := rng.New(rng.DeriveSeed(c.Seed, fmt.Sprintf("LLB-BEB|x=%v|trial=%d", payloads[si/2], ti)))
+		if si%2 == 0 {
+			return base.ChildSeed("llb")
+		}
+		return base.ChildSeed("beb")
+	}
+
+	totals := make([][]float64, len(scenarios))
+	for i := range totals {
+		totals[i] = make([]float64, trials)
+	}
+	for cell := range c.engine().SweepSeeded(context.Background(), scenarios, trials, seed) {
+		if cell.Err != nil {
+			panic(fmt.Sprintf("experiments: fig14: %v", cell.Err))
+		}
+		totals[cell.ScenarioIndex][cell.SeedIndex] = us(cell.Result.Batch.TotalTime)
+	}
+
+	agg := repro.NewAggregator(repro.Metric{Name: "llb_minus_beb_us"})
+	agg.KeepOutliers = true // the paper fits raw per-trial scatter
+	var xs, ys []float64    // the full scatter, for the regression below
+	for pi := range payloads {
+		for ti := 0; ti < trials; ti++ {
+			d := totals[2*pi][ti] - totals[2*pi+1][ti]
+			if err := agg.Observe(pi, d); err != nil {
+				panic(err)
+			}
+			xs = append(xs, payloads[pi])
+			ys = append(ys, d)
+		}
+	}
+	series := reportSeries("LLB-BEB", payloads, agg.Finish())
 
 	t := harness.Table{ID: "fig14", Title: fmt.Sprintf("LLB - BEB total time (µs) vs payload, n=%d", n),
 		XLabel: "payload (bytes)", YLabel: "LLB-BEB (µs)", Series: []harness.Series{series}}
 
 	// Regression over the full per-trial scatter, exactly as the paper fits
 	// Figure 14 (one point per trial per payload).
-	var xs, ys []float64
-	for xi, vals := range raw {
-		for _, v := range vals {
-			xs = append(xs, payloads[xi])
-			ys = append(ys, v)
-		}
-	}
 	if reg, err := stats.LinearFit(xs, ys); err == nil {
 		t.Notes = append(t.Notes, fmt.Sprintf(
 			"OLS over %d per-trial points: +100B payload -> %+.0f µs extra LLB-BEB gap (slope %.2f µs/B, p=%.2g, R²=%.2f)",
@@ -83,19 +128,18 @@ func Figure14(c Config) harness.Table {
 func Figure18(c Config) harness.Table {
 	xs := c.nAxis(150, 10)
 	trials := c.trials(20)
-	cfg := mac.DefaultConfig()
 
-	est := func(k int) harness.TrialFunc {
-		return func(x float64, g *rng.Source) float64 {
-			res := mac.RunBestOfK(cfg, mac.DefaultBestOfK(k), int(x), g, nil)
-			return float64(medianInt(res.Estimates))
+	estimate := repro.Metric{Name: "estimate", Extract: func(r repro.Result) float64 {
+		return float64(r.BestOfK.MedianEstimate)
+	}}
+	bok := func(k int) func(x float64) repro.Scenario {
+		return func(x float64) repro.Scenario {
+			return repro.Scenario{Model: repro.WiFi(), N: int(x), Workload: repro.BestOfKWorkload{K: k}}
 		}
 	}
 	t := harness.Table{ID: "fig18", Title: "BEST-OF-k size estimates", XLabel: "n", YLabel: "estimate of n"}
-	t.Series = harness.SweepAll(c.spec(xs, trials), map[string]harness.TrialFunc{
-		"Best-of-3": est(3),
-		"Best-of-5": est(5),
-	}, []string{"Best-of-3", "Best-of-5"})
+	t.Series = append(t.Series, c.series("Best-of-3", xs, trials, estimate, bok(3)))
+	t.Series = append(t.Series, c.series("Best-of-5", xs, trials, estimate, bok(5)))
 	truth := harness.Series{Name: "TrueSize"}
 	for _, x := range xs {
 		truth.Points = append(truth.Points, harness.Point{X: x, Median: x, Lo: x, Hi: x, Trials: 1})
@@ -111,18 +155,17 @@ func Figure19(c Config) harness.Table {
 	trials := c.trials(20)
 	cfg := mac.DefaultConfig()
 
-	bok := func(k int) harness.TrialFunc {
-		return func(x float64, g *rng.Source) float64 {
-			return us(mac.RunBestOfK(cfg, mac.DefaultBestOfK(k), int(x), g, nil).TotalTime)
+	totalUS := batchMetric("total_time_us", func(r repro.BatchResult) float64 { return us(r.TotalTime) })
+	bok := func(k int) func(x float64) repro.Scenario {
+		return func(x float64) repro.Scenario {
+			return repro.Scenario{Model: repro.WiFi(), N: int(x), Workload: repro.BestOfKWorkload{K: k}}
 		}
 	}
 	t := harness.Table{ID: "fig19", Title: "Total time: BEST-OF-k vs BEB (µs), 64B",
 		XLabel: "n", YLabel: "total time (µs)"}
-	t.Series = harness.SweepAll(c.spec(xs, trials), map[string]harness.TrialFunc{
-		"Best-of-3": bok(3),
-		"Best-of-5": bok(5),
-		"BEB":       macTrial(cfg, backoff.NewBEB, func(r mac.Result) float64 { return us(r.TotalTime) }),
-	}, []string{"Best-of-3", "Best-of-5", "BEB"})
+	t.Series = append(t.Series, c.series("Best-of-3", xs, trials, totalUS, bok(3)))
+	t.Series = append(t.Series, c.series("Best-of-5", xs, trials, totalUS, bok(5)))
+	t.Series = append(t.Series, c.series("BEB", xs, trials, totalUS, macScenario(cfg, repro.MustAlgorithm("BEB"))))
 	for _, name := range []string{"Best-of-3", "Best-of-5"} {
 		if pct, err := t.PercentVsBaseline(name, "BEB"); err == nil {
 			t.Notes = append(t.Notes, fmt.Sprintf("%s vs BEB at largest n: %+.1f%% (paper: ~-26%%/-25%%)", name, pct))
@@ -150,28 +193,17 @@ func DecompositionTable(c Config) harness.Table {
 		"observedTotal":  func(d core.Decomposition) float64 { return us(d.Observed) },
 	}
 	order := []string{"I_transmission", "II_ackTimeouts", "III_cwSlots", "lowerBound", "observedTotal"}
-	fns := map[string]harness.TrialFunc{}
-	for name, m := range metrics {
-		m := m
-		fns[name] = func(x float64, g *rng.Source) float64 {
-			res := mac.RunBatch(cfg, int(x), backoff.NewBEB, g, nil)
-			return m(core.Decompose(cfg, res))
-		}
-	}
 	t := harness.Table{ID: "decomp", Title: fmt.Sprintf("BEB total-time decomposition (µs), n=%d", n),
 		XLabel: "n", YLabel: "µs"}
-	t.Series = harness.SweepAll(c.spec([]float64{float64(n)}, trials), fns, order)
+	for _, name := range order {
+		m := metrics[name]
+		metric := batchMetric(name, func(r repro.BatchResult) float64 { return m(*r.Decomposition) })
+		// Each component is its own series with its own legacy streams, so
+		// the five rows are five independent repetitions, as before.
+		t.Series = append(t.Series,
+			c.series(name, []float64{float64(n)}, trials, metric, macScenario(cfg, repro.MustAlgorithm("BEB"))))
+	}
 	t.Notes = append(t.Notes,
 		"paper (n=150, 64B): (I) ~13163 µs dominates, (II) ~1100 µs, (III) ~7974 µs; lower bound ~22237 µs")
 	return t
-}
-
-func medianInt(xs []int) int {
-	s := append([]int(nil), xs...)
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-	return s[len(s)/2]
 }

@@ -1,0 +1,67 @@
+package experiments
+
+// Figure-output regression goldens. The testdata CSVs were captured from the
+// pre-Engine.Aggregate harness (the SweepSpec path); the migration onto the
+// public Scenario grid + Engine.Aggregate pipeline is required to reproduce
+// them byte-for-byte, which pins the per-trial RNG streams, the outlier
+// filter, and the median-CI procedure across the refactor. Regenerate with
+//
+//	go test ./internal/experiments -run TestFigureGoldens -update
+//
+// only when an intentional behavioural change lands (and say so in CHANGES.md).
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+var update = flag.Bool("update", false, "rewrite figure golden files")
+
+// goldenCases pins the quick-config outputs named in the PR acceptance
+// criteria. tab3's axis starts at n=512, above Quick's NMax, so it gets its
+// own reduced grid.
+func goldenCases() []struct {
+	name string
+	tab  harness.Table
+} {
+	return []struct {
+		name string
+		tab  harness.Table
+	}{
+		{"fig3_quick", Figure3(Quick())},
+		{"fig7_quick", Figure7(Quick())},
+		{"tab3_quick", TableIII(Config{Trials: 5, NMax: 2048, Seed: 1})},
+	}
+}
+
+func TestFigureGoldens(t *testing.T) {
+	for _, c := range goldenCases() {
+		var buf bytes.Buffer
+		if err := c.tab.WriteCSV(&buf); err != nil {
+			t.Fatalf("%s: WriteCSV: %v", c.name, err)
+		}
+		path := filepath.Join("testdata", c.name+".golden.csv")
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with -update): %v", c.name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: output diverged from golden\ngot:\n%s\nwant:\n%s",
+				c.name, buf.Bytes(), want)
+		}
+	}
+}

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"repro"
 	"repro/internal/backoff"
 	"repro/internal/harness"
 	"repro/internal/mac"
-	"repro/internal/rng"
 )
 
 // InstantDetectTable explores the paper's Section V-B conjecture: "a
@@ -59,18 +59,19 @@ func InstantDetectTable(c Config) harness.Table {
 	for i := range xs {
 		xs[i] = float64(i)
 	}
-	fns := map[string]harness.TrialFunc{}
-	for _, f := range backoff.PaperAlgorithms() {
-		f := f
-		fns[f().Name()] = func(x float64, g *rng.Source) float64 {
-			cfg := mac.DefaultConfig()
-			regimes[int(x)].mut(&cfg)
-			return us(mac.RunBatch(cfg, n, f, g, nil).TotalTime)
-		}
-	}
+	totalUS := batchMetric("total_time_us", func(r repro.BatchResult) float64 { return us(r.TotalTime) })
 	t := harness.Table{ID: "instant", Title: fmt.Sprintf("Total time (µs) as collision cost shrinks, n=%d", n),
 		XLabel: "regime", YLabel: "total time (µs)"}
-	t.Series = harness.SweepAll(c.spec(xs, trials), fns, backoff.PaperAlgorithmNames())
+	for _, name := range backoff.PaperAlgorithmNames() {
+		algo := repro.MustAlgorithm(name)
+		build := func(x float64) repro.Scenario {
+			cfg := mac.DefaultConfig()
+			regimes[int(x)].mut(&cfg)
+			return repro.Scenario{Model: repro.WiFi(), Algorithm: algo, N: n,
+				Options: []repro.Option{wholeConfig(cfg)}}
+		}
+		t.Series = append(t.Series, c.series(name, xs, trials, totalUS, build))
+	}
 
 	beb := t.SeriesByName("BEB")
 	for i, r := range regimes {

@@ -4,12 +4,10 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/backoff"
+	"repro"
 	"repro/internal/harness"
 	"repro/internal/mac"
-	"repro/internal/rng"
 	"repro/internal/saturation"
-	"repro/internal/traffic"
 )
 
 // SaturatedThroughputTable extends the paper toward its related-work
@@ -27,25 +25,31 @@ func SaturatedThroughputTable(c Config) harness.Table {
 	cfg := mac.DefaultConfig()
 	cfg.CWMin = 16
 
-	algos := map[string]backoff.Factory{
-		"BEB":     backoff.NewBEB,
-		"LB":      backoff.NewLB,
-		"LLB":     backoff.NewLLB,
-		"STB":     backoff.NewSTB,
-		"POLY(2)": func() backoff.Policy { return backoff.NewPoly(2) },
-	}
-	order := []string{"BEB", "LB", "LLB", "STB", "POLY(2)"}
-	fns := map[string]harness.TrialFunc{}
-	for name, f := range algos {
-		f := f
-		fns[name] = func(x float64, g *rng.Source) float64 {
-			res := mac.RunContinuous(cfg, int(x), f, traffic.NewSaturated(), horizon, g, nil)
-			return res.ThroughputMbps
+	throughput := repro.Metric{Name: "throughput_mbps", Extract: func(r repro.Result) float64 {
+		return r.Traffic.ThroughputMbps
+	}}
+	build := func(algo repro.Algorithm) func(x float64) repro.Scenario {
+		return func(x float64) repro.Scenario {
+			return repro.Scenario{Model: repro.WiFi(), Algorithm: algo, N: int(x),
+				Workload: repro.ContinuousWorkload{Arrivals: repro.Saturated(), Horizon: horizon},
+				Options:  []repro.Option{wholeConfig(cfg)}}
 		}
+	}
+	series := []struct {
+		name string
+		algo repro.Algorithm
+	}{
+		{"BEB", repro.MustAlgorithm("BEB")},
+		{"LB", repro.MustAlgorithm("LB")},
+		{"LLB", repro.MustAlgorithm("LLB")},
+		{"STB", repro.MustAlgorithm("STB")},
+		{"POLY(2)", repro.Polynomial(2)},
 	}
 	t := harness.Table{ID: "tput", Title: "Saturated throughput (Mbit/s payload), CWmin=16",
 		XLabel: "n", YLabel: "throughput (Mbps)"}
-	t.Series = harness.SweepAll(c.spec(xs, trials), fns, order)
+	for _, s := range series {
+		t.Series = append(t.Series, c.series(s.name, xs, trials, throughput, build(s.algo)))
+	}
 
 	// Bianchi's model as an analytic overlay for BEB.
 	model := harness.Series{Name: "Bianchi(BEB)"}

@@ -1,11 +1,10 @@
-// Package harness runs experiment sweeps in parallel and aggregates trial
-// results the way the paper reports them: per-point medians after the
-// 1.5·IQR outlier filter, with 95% confidence intervals.
-//
-// Trials are independent simulations, so parallelism lives here — at the
-// trial level — and never inside a single run. Every (series, x, trial)
-// triple derives its own RNG stream from the sweep seed, which makes results
-// bit-for-bit reproducible regardless of GOMAXPROCS or scheduling order.
+// Package harness holds the worker pool and the table/plot rendering the
+// figure regenerator and the public engine share. ForEach is the one
+// parallel primitive of the repository; Table/Series/Point are the rendered
+// shape of a figure. The sweep and aggregation machinery that used to live
+// here (SweepSpec and friends) moved behind the public API: Engine.Sweep
+// fans grids out, and Engine.Aggregate summarizes them the way the paper
+// reports its figures.
 package harness
 
 import (
@@ -13,7 +12,6 @@ import (
 	"runtime"
 	"sync"
 
-	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -84,28 +82,6 @@ func (t Table) PercentVsBaseline(series, baseline string) (float64, error) {
 	return stats.PercentChange(ax.Median, bx.Median), nil
 }
 
-// TrialFunc produces one trial's measurement at parameter x using the
-// dedicated random stream g.
-type TrialFunc func(x float64, g *rng.Source) float64
-
-// SweepSpec describes one series' sweep.
-type SweepSpec struct {
-	Name   string
-	Xs     []float64
-	Trials int
-	Seed   uint64
-	// Workers caps parallelism; 0 means GOMAXPROCS.
-	Workers int
-	// KeepOutliers disables the paper's outlier filter.
-	KeepOutliers bool
-}
-
-// Sweep runs fn over all (x, trial) pairs in parallel and aggregates each x.
-func Sweep(spec SweepSpec, fn TrialFunc) Series {
-	s, _ := SweepRaw(spec, fn)
-	return s
-}
-
 // ForEach runs fn(i) for every i in [0, n) across a pool of up to workers
 // goroutines (0 = GOMAXPROCS) and blocks until all calls return. It is the
 // single parallel primitive of the repository: both the figure sweeps here
@@ -138,62 +114,6 @@ func ForEach(workers, n int, fn func(i int)) {
 	}
 	close(jobs)
 	wg.Wait()
-}
-
-// SweepRaw is Sweep, additionally returning the raw per-trial measurements
-// (unfiltered, indexed [x][trial]) for procedures that need the scatter
-// rather than the aggregate — e.g. the paper's Figure 14 regression, which
-// fits per-trial differences.
-func SweepRaw(spec SweepSpec, fn TrialFunc) (Series, [][]float64) {
-	if spec.Trials < 1 {
-		panic("harness: Sweep needs Trials >= 1")
-	}
-	raw := make([][]float64, len(spec.Xs))
-	for i := range raw {
-		raw[i] = make([]float64, spec.Trials)
-	}
-	ForEach(spec.Workers, len(spec.Xs)*spec.Trials, func(j int) {
-		xi, trial := j/spec.Trials, j%spec.Trials
-		x := spec.Xs[xi]
-		label := fmt.Sprintf("%s|x=%v|trial=%d", spec.Name, x, trial)
-		g := rng.New(rng.DeriveSeed(spec.Seed, label))
-		raw[xi][trial] = fn(x, g)
-	})
-
-	out := Series{Name: spec.Name, Points: make([]Point, len(spec.Xs))}
-	for xi, vals := range raw {
-		kept, removed := vals, 0
-		if !spec.KeepOutliers {
-			kept, removed = stats.FilterOutliers(vals)
-		}
-		s := stats.Summarize(kept)
-		out.Points[xi] = Point{
-			X:       spec.Xs[xi],
-			Median:  s.Median,
-			Lo:      s.MedianLo,
-			Hi:      s.MedianHi,
-			Mean:    s.Mean,
-			Trials:  s.N,
-			Removed: removed,
-		}
-	}
-	return out, raw
-}
-
-// SweepAll runs one sweep per named series over a shared x-axis, in
-// sequence (each sweep is internally parallel).
-func SweepAll(base SweepSpec, fns map[string]TrialFunc, order []string) []Series {
-	out := make([]Series, 0, len(fns))
-	for _, name := range order {
-		fn, okFn := fns[name]
-		if !okFn {
-			panic(fmt.Sprintf("harness: series %q has no trial func", name))
-		}
-		spec := base
-		spec.Name = name
-		out = append(out, Sweep(spec, fn))
-	}
-	return out
 }
 
 // IntXs builds the x-axis lo, lo+step, ..., hi (inclusive when aligned).

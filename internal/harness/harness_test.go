@@ -5,24 +5,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
-
-	"repro/internal/rng"
 )
-
-func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
-	spec := SweepSpec{Name: "s", Xs: IntXs(10, 50, 10), Trials: 8, Seed: 42}
-	fn := func(x float64, g *rng.Source) float64 { return x + g.Float64() }
-
-	spec.Workers = 1
-	a := Sweep(spec, fn)
-	spec.Workers = 8
-	b := Sweep(spec, fn)
-	for i := range a.Points {
-		if a.Points[i] != b.Points[i] {
-			t.Fatalf("point %d differs across worker counts: %+v vs %+v", i, a.Points[i], b.Points[i])
-		}
-	}
-}
 
 func TestForEachCoversAllIndicesOnce(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 64} {
@@ -38,93 +21,6 @@ func TestForEachCoversAllIndicesOnce(t *testing.T) {
 	// Degenerate sizes must not hang or panic.
 	ForEach(4, 0, func(int) { t.Fatal("fn called for n=0") })
 	ForEach(0, -1, func(int) { t.Fatal("fn called for n<0") })
-}
-
-func TestSweepAggregation(t *testing.T) {
-	spec := SweepSpec{Name: "const", Xs: []float64{1, 2}, Trials: 11, Seed: 1}
-	s := Sweep(spec, func(x float64, g *rng.Source) float64 { return 10 * x })
-	for i, x := range spec.Xs {
-		p := s.Points[i]
-		if p.Median != 10*x || p.Mean != 10*x {
-			t.Fatalf("x=%v: %+v", x, p)
-		}
-		if p.Trials != 11 || p.Removed != 0 {
-			t.Fatalf("x=%v trials/removed: %+v", x, p)
-		}
-	}
-}
-
-func TestSweepFiltersOutliers(t *testing.T) {
-	spec := SweepSpec{Name: "o", Xs: []float64{1}, Trials: 20, Seed: 3}
-	s := Sweep(spec, func(x float64, g *rng.Source) float64 {
-		// A few wild values among the 20 trials, keyed off each trial's own
-		// deterministic stream (trial order across workers is arbitrary).
-		if g.Float64() < 0.05 {
-			return 1e9
-		}
-		return 100 + g.Float64()
-	})
-	p := s.Points[0]
-	if p.Median > 200 {
-		t.Fatalf("outliers leaked into median: %+v", p)
-	}
-}
-
-func TestSweepKeepOutliers(t *testing.T) {
-	spec := SweepSpec{Name: "k", Xs: []float64{1}, Trials: 10, Seed: 4, KeepOutliers: true}
-	s := Sweep(spec, func(float64, *rng.Source) float64 { return 7 })
-	if s.Points[0].Removed != 0 || s.Points[0].Trials != 10 {
-		t.Fatalf("%+v", s.Points[0])
-	}
-}
-
-func TestSweepAllOrdersSeries(t *testing.T) {
-	base := SweepSpec{Xs: []float64{5}, Trials: 3, Seed: 9}
-	fns := map[string]TrialFunc{
-		"a": func(float64, *rng.Source) float64 { return 1 },
-		"b": func(float64, *rng.Source) float64 { return 2 },
-	}
-	out := SweepAll(base, fns, []string{"b", "a"})
-	if out[0].Name != "b" || out[1].Name != "a" {
-		t.Fatalf("series order %v, %v", out[0].Name, out[1].Name)
-	}
-	if out[0].Points[0].Median != 2 || out[1].Points[0].Median != 1 {
-		t.Fatal("series values swapped")
-	}
-}
-
-func TestSweepRawShapeAndOrder(t *testing.T) {
-	spec := SweepSpec{Name: "r", Xs: []float64{2, 4}, Trials: 6, Seed: 8}
-	_, raw := SweepRaw(spec, func(x float64, g *rng.Source) float64 {
-		return x*1000 + g.Float64()
-	})
-	if len(raw) != 2 {
-		t.Fatalf("raw has %d x-rows", len(raw))
-	}
-	for xi, vals := range raw {
-		if len(vals) != 6 {
-			t.Fatalf("x-row %d has %d trials", xi, len(vals))
-		}
-		for _, v := range vals {
-			want := spec.Xs[xi] * 1000
-			if v < want || v >= want+1 {
-				t.Fatalf("raw value %v outside [%v, %v)", v, want, want+1)
-			}
-		}
-	}
-	// Raw values are deterministic and slot into trial order regardless of
-	// workers.
-	spec.Workers = 1
-	_, raw1 := SweepRaw(spec, func(x float64, g *rng.Source) float64 {
-		return x*1000 + g.Float64()
-	})
-	for xi := range raw {
-		for ti := range raw[xi] {
-			if raw[xi][ti] != raw1[xi][ti] {
-				t.Fatalf("raw[%d][%d] differs across worker counts", xi, ti)
-			}
-		}
-	}
 }
 
 func TestIntXs(t *testing.T) {
@@ -223,13 +119,4 @@ func TestSeriesValue(t *testing.T) {
 	if v := s.Value(99); !math.IsNaN(v) {
 		t.Fatalf("Value(99) = %v, want NaN", v)
 	}
-}
-
-func TestSweepPanicsOnZeroTrials(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	Sweep(SweepSpec{Xs: []float64{1}}, func(float64, *rng.Source) float64 { return 0 })
 }

@@ -76,7 +76,11 @@ func RunBestOfK(cfg Config, bok BestOfKConfig, n int, g *rng.Source, tracer Trac
 	m.ap = &accessPoint{sim: m}
 	m.ap.node = medium.AddNode(phy.APPosition(), m.ap)
 
-	positions := phy.StationGrid(n)
+	layout := phy.StationGrid
+	if cfg.Layout != nil {
+		layout = cfg.Layout
+	}
+	positions := layout(n)
 	nodes := make([]*phy.Node, n)
 	for i := range nodes {
 		nodes[i] = medium.AddNode(positions[i], nil)

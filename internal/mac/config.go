@@ -52,6 +52,9 @@ type Config struct {
 	RTSBytes, CTSBytes, AckBytes int
 	// Radio configures the PHY (power, noise, path loss).
 	Radio phy.Config
+	// Layout overrides station placement for topology ablations; nil keeps
+	// the paper's grid (phy.StationGrid). The AP stays at the grid centre.
+	Layout func(n int) []phy.Position
 	// MaxEvents aborts a runaway simulation; 0 uses a generous default.
 	MaxEvents uint64
 }

@@ -54,7 +54,11 @@ func RunContinuous(cfg Config, n int, f backoff.Factory, proc traffic.Process,
 	if horizon <= 0 {
 		panic("mac: RunContinuous needs a positive horizon")
 	}
-	m := newSim(cfg, phy.StationGrid(n), f, g, tracer)
+	layout := phy.StationGrid
+	if cfg.Layout != nil {
+		layout = cfg.Layout
+	}
+	m := newSim(cfg, layout(n), f, g, tracer)
 
 	// Pre-compute each station's arrival train. The per-station cap bounds
 	// memory under saturation (gap-0 trains) at what the channel could

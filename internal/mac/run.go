@@ -149,7 +149,11 @@ func RunBatch(cfg Config, n int, f backoff.Factory, g *rng.Source, tracer Tracer
 	if n < 1 {
 		panic("mac: RunBatch needs n >= 1")
 	}
-	return RunBatchAt(cfg, phy.StationGrid(n), f, g, tracer)
+	layout := phy.StationGrid
+	if cfg.Layout != nil {
+		layout = cfg.Layout
+	}
+	return RunBatchAt(cfg, layout(n), f, g, tracer)
 }
 
 // RunBatchAt is RunBatch with explicit station positions (the AP stays at

@@ -58,6 +58,14 @@ func (r *Source) Seed(seed uint64) {
 // The same receiver state and label always produce the same stream, and the
 // receiver itself is not advanced, so derivation order is irrelevant.
 func (r *Source) Derive(label string) *Source {
+	return New(r.ChildSeed(label))
+}
+
+// ChildSeed returns the seed Derive(label) would construct its stream from:
+// a hash of the receiver's current state and the label. It lets callers that
+// schedule work elsewhere (e.g. a sweep grid) transport the derived stream
+// as a plain seed and rebuild it later with New.
+func (r *Source) ChildSeed(label string) uint64 {
 	h := fnv.New64a()
 	var buf [32]byte
 	for i, s := range r.s {
@@ -65,7 +73,7 @@ func (r *Source) Derive(label string) *Source {
 	}
 	h.Write(buf[:])
 	h.Write([]byte(label))
-	return New(h.Sum64())
+	return h.Sum64()
 }
 
 // DeriveSeed returns a 64-bit seed derived from seed and label, for callers

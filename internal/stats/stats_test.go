@@ -318,3 +318,96 @@ func TestQuantileSortedAgreesWithSortedInput(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- Boundary cases of the quantile and median-CI machinery -----------------
+
+func TestQuantileSingleton(t *testing.T) {
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := Quantile([]float64{7}, q); got != 7 {
+			t.Fatalf("Quantile([7], %v) = %v", q, got)
+		}
+	}
+}
+
+func TestQuantilePair(t *testing.T) {
+	xs := []float64{10, 20}
+	cases := map[float64]float64{0: 10, 0.25: 12.5, 0.5: 15, 0.75: 17.5, 1: 20}
+	for q, want := range cases {
+		if got := Quantile(xs, q); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Quantile(%v, %v) = %v, want %v", xs, q, got, want)
+		}
+	}
+	// Out-of-range q clamps to the extremes rather than extrapolating.
+	if Quantile(xs, -0.5) != 10 || Quantile(xs, 1.5) != 20 {
+		t.Fatal("out-of-range quantile did not clamp")
+	}
+}
+
+func TestQuantileAllEqual(t *testing.T) {
+	xs := []float64{4, 4, 4, 4, 4}
+	for _, q := range []float64{0, 0.3, 0.5, 0.9, 1} {
+		if got := Quantile(xs, q); got != 4 {
+			t.Fatalf("Quantile(all-equal, %v) = %v", q, got)
+		}
+	}
+}
+
+func TestMedianCISingleton(t *testing.T) {
+	lo, hi := medianCISorted([]float64{3}, 0.95)
+	if lo != 3 || hi != 3 {
+		t.Fatalf("n=1 CI = [%v, %v], want degenerate [3, 3]", lo, hi)
+	}
+}
+
+func TestMedianCIPair(t *testing.T) {
+	// With n=2 no inner pair of order statistics reaches 95% coverage; the
+	// interval must fall back to the sample extremes and bracket the median.
+	lo, hi := medianCISorted([]float64{1, 9}, 0.95)
+	if lo != 1 || hi != 9 {
+		t.Fatalf("n=2 CI = [%v, %v], want [1, 9]", lo, hi)
+	}
+}
+
+func TestMedianCIAllEqual(t *testing.T) {
+	for _, n := range []int{2, 3, 10, 101} {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = 6
+		}
+		lo, hi := medianCISorted(s, 0.95)
+		if lo != 6 || hi != 6 {
+			t.Fatalf("n=%d all-equal CI = [%v, %v]", n, lo, hi)
+		}
+	}
+}
+
+func TestMedianCINestedByConfidence(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	lo90, hi90 := medianCISorted(s, 0.90)
+	lo99, hi99 := medianCISorted(s, 0.99)
+	if lo99 > lo90 || hi99 < hi90 {
+		t.Fatalf("99%% CI [%v,%v] not containing 90%% CI [%v,%v]", lo99, hi99, lo90, hi90)
+	}
+	med := Median(s)
+	if lo90 > med || hi90 < med {
+		t.Fatalf("CI [%v,%v] does not bracket median %v", lo90, hi90, med)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Median != 42 || s.Mean != 42 || s.Stddev != 0 ||
+		s.MedianLo != 42 || s.MedianHi != 42 || s.Q1 != 42 || s.Q3 != 42 {
+		t.Fatalf("Summarize([42]) = %+v", s)
+	}
+}
+
+func TestSummarizePair(t *testing.T) {
+	s := Summarize([]float64{2, 6})
+	if s.N != 2 || s.Median != 4 || s.Mean != 4 || s.Min != 2 || s.Max != 6 {
+		t.Fatalf("Summarize([2 6]) = %+v", s)
+	}
+	if s.MedianLo != 2 || s.MedianHi != 6 {
+		t.Fatalf("n=2 CI = [%v, %v], want the extremes", s.MedianLo, s.MedianHi)
+	}
+}

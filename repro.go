@@ -32,6 +32,13 @@
 //		...
 //	}
 //
+//	// Or let the engine aggregate the grid the way the paper reports its
+//	// figures — per-scenario medians with 95% CIs after the IQR outlier
+//	// filter — and render the report through a sink (report.go).
+//	rep, _ := eng.Aggregate(ctx, scenarios, repro.Seeds(1, 30),
+//		repro.MakespanSlots(), repro.TotalTime())
+//	_ = (repro.CSVSink{W: os.Stdout}).Emit(rep)
+//
 // The legacy string-keyed entry points (RunWiFiBatch, RunAbstractBatch,
 // RunBestOfK, RunTreeBatch, RunContinuousTraffic) remain as thin wrappers
 // over the Scenario path and produce bit-identical results.
@@ -48,6 +55,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/mac"
+	"repro/internal/rng"
 	"repro/internal/trace"
 )
 
@@ -86,17 +94,42 @@ type BatchResult struct {
 	CWSlotsAtHalf int
 	// MaxAckTimeouts is the worst per-station ACK-timeout count (wifi).
 	MaxAckTimeouts int
+	// MaxAckTimeoutWait is the total time the station with the most ACK
+	// timeouts spent waiting them out (wifi; paper Figure 12).
+	MaxAckTimeoutWait time.Duration
+	// Captures counts frames decoded despite overlapping interference.
+	// Zero on the paper's grid layout; non-zero only under ablation
+	// layouts with large receive-power spreads (wifi).
+	Captures int
+	// Stations holds the per-station counters (wifi).
+	Stations []StationStats
 	// Decomposition splits total time per the paper's Section III-B (wifi).
 	Decomposition *core.Decomposition
 }
 
+// StationStats aliases the MAC's per-station counters (attempts, ACK
+// timeouts and their waits, finish time, airtime) so BatchResult can carry
+// them through the public API.
+type StationStats = mac.StationStats
+
 // options collects the resolved functional options of a run.
 type options struct {
 	seed      uint64
+	rawSeed   bool
 	payload   int
 	rtscts    bool
 	tracer    *trace.Recorder
 	cfgTweaks []func(*mac.Config)
+}
+
+// stream builds the run's RNG stream: normally derived from the seed via
+// the model's label (so equal seeds decorrelate across scenarios), or the
+// seed consumed verbatim under WithRawSeed.
+func (o options) stream(label string) *rng.Source {
+	if o.rawSeed {
+		return rng.New(o.seed)
+	}
+	return rng.New(rng.DeriveSeed(o.seed, label))
 }
 
 // Option configures a run, both through Scenario.Options and the legacy
@@ -106,6 +139,15 @@ type Option func(*options)
 // WithSeed fixes the random seed; runs are deterministic given (scenario,
 // seed). Engine.Sweep overrides the seed per grid cell.
 func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithRawSeed makes the model consume the run's seed verbatim as its RNG
+// stream seed instead of deriving a per-(model, algorithm, n) stream from
+// it. It exists for byte-exact migrations of legacy harnesses that derive
+// their own per-trial streams outside the engine (the figure regenerator
+// does; see internal/experiments). Equal raw seeds produce correlated runs
+// across different scenarios, so new code should keep the default
+// derivation and let the engine decorrelate.
+func WithRawSeed() Option { return func(o *options) { o.rawSeed = true } }
 
 // WithPayload sets the application payload size in bytes (default 64, the
 // paper's small-packet configuration; 1024 is its large-packet one).

@@ -53,6 +53,12 @@ func SequentialSeeds(start uint64, n int) []uint64 {
 	return out
 }
 
+// SeedFunc supplies the seed for the sweep-grid cell at scenario index si,
+// trial index ti. It generalizes the flat seed list of Sweep for grids whose
+// seed ladder varies per scenario — notably the figure regenerator, whose
+// legacy per-trial streams are a function of both the series and the point.
+type SeedFunc func(si, ti int) uint64
+
 // Sweep runs every scenario × seed cell of the grid on the engine's worker
 // pool and streams the cells in stable row-major order: all seeds of
 // scenario 0, then scenario 1, and so on, regardless of which worker
@@ -70,9 +76,17 @@ func SequentialSeeds(start uint64, n int) []uint64 {
 // concurrently, and interleaving many runs into one recorder would race.
 // Trace single runs with Engine.Run.
 func (e *Engine) Sweep(ctx context.Context, scenarios []Scenario, seeds []uint64) <-chan Cell {
+	return e.SweepSeeded(ctx, scenarios, len(seeds), func(_, ti int) uint64 { return seeds[ti] })
+}
+
+// SweepSeeded is Sweep with the per-cell seeds supplied by seed instead of
+// one shared seed list: cell (si, ti) runs scenarios[si] reseeded with
+// seed(si, ti). Ordering, cancellation, and tracer-rejection semantics are
+// those of Sweep.
+func (e *Engine) SweepSeeded(ctx context.Context, scenarios []Scenario, trials int, seed SeedFunc) <-chan Cell {
 	out := make(chan Cell)
-	cells := len(scenarios) * len(seeds)
-	if cells == 0 {
+	cells := len(scenarios) * trials
+	if cells <= 0 {
 		close(out)
 		return out
 	}
@@ -84,14 +98,14 @@ func (e *Engine) Sweep(ctx context.Context, scenarios []Scenario, seeds []uint64
 	// Workers fill slots in whatever order the pool schedules.
 	go func() {
 		harness.ForEach(e.Workers, cells, func(i int) {
-			si, ji := i/len(seeds), i%len(seeds)
-			c := Cell{ScenarioIndex: si, SeedIndex: ji, Seed: seeds[ji]}
+			si, ji := i/trials, i%trials
+			c := Cell{ScenarioIndex: si, SeedIndex: ji, Seed: seed(si, ji)}
 			if err := ctx.Err(); err != nil {
 				c.Err = err
 			} else if err := rejectTracer(scenarios[si]); err != nil {
 				c.Err = err
 			} else {
-				c.Result, c.Err = e.Run(ctx, scenarios[si].WithOptions(WithSeed(seeds[ji])))
+				c.Result, c.Err = e.Run(ctx, scenarios[si].WithOptions(WithSeed(c.Seed)))
 			}
 			slots[i] <- c
 		})
