@@ -272,6 +272,10 @@ func (a *Aggregator) Finish() *Report {
 // scenario's identity. Cancelling ctx abandons the sweep and returns
 // ctx.Err(); a cell-level failure (an invalid scenario, say) does not stop
 // the sweep but is reported on its row and as the returned error.
+//
+// With a Store attached to the engine, cells already persisted replay
+// instead of simulating (see Engine.Store); a fully warm grid aggregates to
+// a bit-identical Report while invoking the simulator zero times.
 func (e *Engine) Aggregate(ctx context.Context, scenarios []Scenario, seeds []uint64, metrics ...Metric) (*Report, error) {
 	return e.AggregateSeeded(ctx, scenarios, len(seeds), func(_, ti int) uint64 { return seeds[ti] }, metrics...)
 }

@@ -181,6 +181,42 @@ func runSweepBench(b *testing.B, workers int) {
 func BenchmarkSweepSerial(b *testing.B)   { runSweepBench(b, 1) }
 func BenchmarkSweepParallel(b *testing.B) { runSweepBench(b, 0) }
 
+// BenchmarkSweepCached runs the same grid as BenchmarkSweepParallel against
+// a pre-warmed result store: every cell replays from the log instead of
+// simulating, so the ns/op gap to BenchmarkSweepParallel is the memoization
+// speedup of the serving path.
+func BenchmarkSweepCached(b *testing.B) {
+	scenarios, seeds := sweepBenchGrid()
+	st, err := repro.OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	eng := repro.Engine{Store: st}
+	warm := func() {
+		cells := 0
+		for cell := range eng.Sweep(context.Background(), scenarios, seeds) {
+			if cell.Err != nil {
+				b.Fatal(cell.Err)
+			}
+			cells++
+		}
+		if cells != len(scenarios)*len(seeds) {
+			b.Fatalf("got %d cells", cells)
+		}
+	}
+	warm() // populate the store; everything after this is replay
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm()
+	}
+	s := st.Stats()
+	if s.Misses != int64(len(scenarios)*len(seeds)) {
+		b.Fatalf("benchmark loop simulated: %d misses, want only the warm-up's", s.Misses)
+	}
+	b.ReportMetric(float64(s.Hits)/float64(b.N), "hits/op")
+}
+
 // --- Single-run microbenches for the public API ----------------------------
 
 func BenchmarkWiFiBatchBEB100(b *testing.B) {

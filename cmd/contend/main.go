@@ -15,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -34,6 +36,11 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "base random seed")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancel the context: the sweep stops at the next cell
+	// boundary instead of running the whole grid out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	s := repro.Scenario{
 		N:       *n,
@@ -74,7 +81,7 @@ func main() {
 	seeds := repro.SequentialSeeds(*seed, *trials)
 
 	if isBok {
-		runBestOfK(&eng, s, seeds, bokK, *n, *payload)
+		runBestOfK(ctx, &eng, s, seeds, bokK, *n, *payload)
 		return
 	}
 
@@ -82,7 +89,7 @@ func main() {
 		totalUs, cwSlots, collisions, maxTO []float64
 	}
 	var m metrics
-	for cell := range eng.Sweep(context.Background(), []repro.Scenario{s}, seeds) {
+	for cell := range eng.Sweep(ctx, []repro.Scenario{s}, seeds) {
 		if cell.Err != nil {
 			fmt.Fprintf(os.Stderr, "contend: %v\n", cell.Err)
 			os.Exit(1)
@@ -102,14 +109,18 @@ func main() {
 		printStat("max ACK timeouts", m.maxTO)
 		// Decomposition from a representative run (the median-total trial).
 		idx := medianIndex(m.totalUs)
-		res, _ := eng.Run(context.Background(), s.WithOptions(repro.WithSeed(seeds[idx])))
+		res, err := eng.Run(ctx, s.WithOptions(repro.WithSeed(seeds[idx])))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "contend: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Printf("decomposition (median trial): %v\n", res.Batch.Decomposition)
 	}
 }
 
-func runBestOfK(eng *repro.Engine, s repro.Scenario, seeds []uint64, k, n, payload int) {
+func runBestOfK(ctx context.Context, eng *repro.Engine, s repro.Scenario, seeds []uint64, k, n, payload int) {
 	var totals, ests []float64
-	for cell := range eng.Sweep(context.Background(), []repro.Scenario{s}, seeds) {
+	for cell := range eng.Sweep(ctx, []repro.Scenario{s}, seeds) {
 		if cell.Err != nil {
 			fmt.Fprintf(os.Stderr, "contend: %v\n", cell.Err)
 			os.Exit(1)

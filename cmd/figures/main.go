@@ -9,22 +9,36 @@
 //	figures -fig fig7                  # regenerate one figure
 //	figures -fig fig3,fig7,tab3        # regenerate a comma-separated set
 //	figures -fig all -out results      # regenerate everything, write CSVs
+//	figures -fig all -cache fig-cache  # memoize cells; interrupted runs resume
 //	figures -fig fig15 -trials 50 -nmax 100000 -step 4000   # full fidelity
 //
 // Without fidelity flags each experiment uses its paper-default trial count
 // and axis; -quick switches to the reduced configuration used by tests.
 // Unknown ids anywhere in the -fig list abort with a non-zero exit before
 // anything runs, so a typo cannot silently drop a figure from a batch.
+//
+// With -cache, every simulated cell is persisted to the result store in
+// that directory the moment it completes, keyed by (Scenario.Fingerprint,
+// seed). Interrupting a long run (Ctrl-C sends SIGINT, which cancels the
+// sweep cleanly) loses at most the in-flight cells; rerunning with the same
+// -cache replays the finished ones and simulates only the remainder. A
+// fully warm rerun is all hits and regenerates byte-identical output. The
+// final "cache:" line reports hits and misses.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro"
 	"repro/internal/experiments"
 	"repro/internal/mac"
 )
@@ -41,6 +55,7 @@ func main() {
 		step    = flag.Int("step", 0, "override the sweep step")
 		seed    = flag.Uint64("seed", 0, "random seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		cache   = flag.String("cache", "", "result-store directory: memoize cells and resume interrupted runs")
 	)
 	flag.Parse()
 
@@ -52,6 +67,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figures: -fig <id>|all required (see -list)")
 		os.Exit(2)
 	}
+
+	// SIGINT/SIGTERM cancel the context; sweeps stop at the next cell
+	// boundary, and with -cache every already-finished cell is persisted.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := experiments.Config{Trials: *trials, NMax: *nmax, NStep: *step, Seed: *seed, Workers: *workers}
 	if *quick {
@@ -65,6 +85,38 @@ func main() {
 		if cfg.NStep == 0 {
 			cfg.NStep = q.NStep
 		}
+	}
+
+	var store *repro.Store
+	if *cache != "" {
+		st, err := repro.OpenStore(*cache)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		store = st
+		cfg.Store = st
+	}
+	// exit reports the cache counters on every path — the "misses=0" line
+	// is what tells a rerun it was served entirely from the store.
+	exit := func(code int) {
+		if store != nil {
+			s := store.Stats()
+			fmt.Printf("figures: cache: hits=%d misses=%d records=%d stale=%d (%s)\n",
+				s.Hits, s.Misses, s.Records, s.Stale, *cache)
+			if s.WriteErr != nil {
+				fmt.Fprintf(os.Stderr, "figures: cache write error (results served, resume impaired): %v\n", s.WriteErr)
+			}
+			store.Close()
+		}
+		os.Exit(code)
+	}
+	interrupted := func(err error) {
+		fmt.Fprintf(os.Stderr, "figures: interrupted (%v)\n", err)
+		if store != nil {
+			fmt.Fprintf(os.Stderr, "figures: finished cells are cached; rerun with -cache %s to resume\n", *cache)
+		}
+		exit(1)
 	}
 
 	// Resolve the id list up front: any unknown id — even alongside valid
@@ -95,33 +147,38 @@ func main() {
 		}
 		if len(unknown) > 0 {
 			fmt.Fprintf(os.Stderr, "figures: unknown experiment(s) %s (see -list)\n", strings.Join(unknown, ", "))
-			os.Exit(2)
+			exit(2)
 		}
 		if len(gens) == 0 && !wantTrace {
 			fmt.Fprintln(os.Stderr, "figures: -fig needs at least one experiment id (see -list)")
-			os.Exit(2)
+			exit(2)
 		}
 	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 
 	// Figure 13 is a timeline, not a table; include it for 'all' or by id.
 	if wantTrace {
-		render, rec := experiments.Figure13(cfg)
+		render, rec, err := experiments.RunTrace(ctx, cfg)
+		if err != nil {
+			interrupted(err)
+		}
 		fmt.Println(render)
 		if *out != "" {
 			f, err := os.Create(filepath.Join(*out, "fig13.csv"))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			if err := rec.WriteCSV(f); err != nil {
 				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				f.Close()
+				exit(1)
 			}
 			f.Close()
 		}
@@ -129,11 +186,18 @@ func main() {
 
 	for _, g := range gens {
 		start := time.Now()
-		tab := g.Run(cfg)
+		tab, err := experiments.Run(ctx, g, cfg)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				interrupted(err)
+			}
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", g.ID, err)
+			exit(1)
+		}
 		elapsed := time.Since(start).Round(time.Millisecond)
 		if err := tab.WriteTable(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if *plot {
 			if err := tab.WritePlot(os.Stdout, 78, 16); err != nil {
@@ -146,14 +210,17 @@ func main() {
 			f, err := os.Create(path)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			if err := tab.WriteCSV(f); err != nil {
 				fmt.Fprintf(os.Stderr, "figures: write %s: %v\n", path, err)
+				f.Close()
+				exit(1)
 			}
 			f.Close()
 		}
 	}
+	exit(0)
 }
 
 func printList() {

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
 	"repro/internal/trace"
@@ -35,9 +37,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 		os.Exit(1)
 	}
+	// Ctrl-C / SIGTERM cancel the run's context cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	rec := &trace.Recorder{}
 	var eng repro.Engine
-	out, err := eng.Run(context.Background(), repro.Scenario{
+	out, err := eng.Run(ctx, repro.Scenario{
 		Model:     repro.WiFi(),
 		Algorithm: a,
 		N:         *n,

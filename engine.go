@@ -129,15 +129,28 @@ type wifiModel struct{}
 
 func (wifiModel) Name() string { return "wifi" }
 
-// config materializes the MAC configuration from resolved options.
-func (wifiModel) config(o options) mac.Config {
+// materializeMACConfig resolves the effective MAC configuration of a wifi
+// run from the workload and resolved options. It is the single source of
+// truth shared by wifiModel.run and Scenario.Fingerprint, so the config a
+// run executes with is exactly the config its fingerprint hashes.
+func materializeMACConfig(w Workload, o options) mac.Config {
 	cfg := mac.DefaultConfig()
 	cfg.PayloadBytes = o.payload
-	cfg.RTSCTS = o.rtscts
+	if _, bok := w.(BestOfKWorkload); !bok {
+		// RTS/CTS does not apply to the best-of-k probe phase; the legacy
+		// path never set it, so keeping it off there preserves byte-identical
+		// configs across the migration.
+		cfg.RTSCTS = o.rtscts
+	}
 	for _, tweak := range o.cfgTweaks {
 		tweak(&cfg)
 	}
 	return cfg
+}
+
+// config materializes the MAC configuration from resolved options.
+func (wifiModel) config(o options) mac.Config {
+	return materializeMACConfig(SingleBatch{}, o)
 }
 
 func (wifiModel) tracer(o options) mac.Tracer {
@@ -175,13 +188,7 @@ func (m wifiModel) run(_ context.Context, s Scenario, o options) (Result, error)
 		}}, nil
 
 	case BestOfKWorkload:
-		// RTS/CTS does not apply to the probe phase; the legacy path never
-		// set it, so the scenario path keeps the config byte-identical.
-		cfg := mac.DefaultConfig()
-		cfg.PayloadBytes = o.payload
-		for _, tweak := range o.cfgTweaks {
-			tweak(&cfg)
-		}
+		cfg := materializeMACConfig(w, o)
 		g := o.stream(fmt.Sprintf("bok|k=%d|n=%d", w.K, s.N))
 		res := mac.RunBestOfK(cfg, mac.DefaultBestOfK(w.K), s.N, g, m.tracer(o))
 		d := core.Decompose(cfg, res.Result)
@@ -246,11 +253,30 @@ func (m wifiModel) run(_ context.Context, s Scenario, o options) (Result, error)
 
 // Engine executes scenarios. The zero value is ready to use and sizes its
 // worker pool to GOMAXPROCS; set Workers to cap parallelism. Engines are
-// stateless and safe for concurrent use.
+// stateless and safe for concurrent use; attaching a Store adds shared
+// state, but the Store itself is concurrency-safe.
 type Engine struct {
 	// Workers caps the parallelism of Sweep and RunMany (0 = GOMAXPROCS).
 	// Run is always a single synchronous execution.
 	Workers int
+
+	// Store, when non-nil, memoizes grid execution: Sweep, SweepSeeded,
+	// Aggregate, AggregateSeeded and RunMany serve cells whose
+	// (Scenario.Fingerprint, seed) is already stored by replaying the
+	// persisted Result instead of simulating, write misses through, and
+	// collapse identical in-flight cells into one simulation. Streaming
+	// order, cell values, and reports are bit-identical with or without a
+	// store. Run is always a direct execution (it is the traced-run path,
+	// and a replay would skip trace side effects); scenarios that cannot be
+	// fingerprinted run uncached.
+	Store *Store
+}
+
+// WithStore returns a copy of the engine that serves grid cells through st;
+// a nil st detaches the store. The receiver is not modified.
+func (e Engine) WithStore(st *Store) *Engine {
+	e.Store = st
+	return &e
 }
 
 // defaultEngine backs the package-level legacy wrappers.

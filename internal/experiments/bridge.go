@@ -15,7 +15,6 @@ package experiments
 // (golden_test.go holds the pinned outputs).
 
 import (
-	"context"
 	"fmt"
 
 	"repro"
@@ -23,8 +22,9 @@ import (
 	"repro/internal/rng"
 )
 
-// engine returns the sweep engine for this config.
-func (c Config) engine() *repro.Engine { return &repro.Engine{Workers: c.Workers} }
+// engine returns the sweep engine for this config, attached to the result
+// store when the config carries one.
+func (c Config) engine() *repro.Engine { return &repro.Engine{Workers: c.Workers, Store: c.Store} }
 
 // legacySeeds reproduces the legacy per-trial stream ladder of the series
 // as a sweep-grid SeedFunc: cell (si, ti) gets the stream the old harness
@@ -63,9 +63,10 @@ func (c Config) series(name string, xs []float64, trials int, m repro.Metric,
 	for i, x := range xs {
 		scenarios[i] = build(x).WithOptions(repro.WithRawSeed())
 	}
-	rep, err := c.engine().AggregateSeeded(context.Background(), scenarios, trials,
+	rep, err := c.engine().AggregateSeeded(c.ctx(), scenarios, trials,
 		legacySeeds(c.Seed, name, xs), m)
 	if err != nil {
+		c.checkCancelled(err)
 		panic(fmt.Sprintf("experiments: series %s: %v", name, err))
 	}
 	return reportSeries(name, xs, rep)

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -27,6 +28,57 @@ type Config struct {
 	Seed uint64
 	// Workers caps parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Ctx cancels sweeps mid-run (nil = context.Background()). Generators
+	// invoked directly panic on cancellation; run them through Run, which
+	// converts that into an ordinary error.
+	Ctx context.Context
+	// Store, when non-nil, memoizes every sweep cell through the public
+	// result store, making interrupted figure runs resumable
+	// (cmd/figures -cache).
+	Store *repro.Store
+}
+
+// ctx returns the effective context.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// cancelled carries a context cancellation out of a generator's panic path;
+// Run converts it into the error it wraps.
+type cancelled struct{ err error }
+
+// checkCancelled panics with the cancellation sentinel when err was caused
+// by the config's context being cancelled.
+func (c Config) checkCancelled(err error) {
+	if err != nil && c.ctx().Err() != nil {
+		panic(cancelled{c.ctx().Err()})
+	}
+}
+
+// recoverCancelled converts a cancelled-sentinel panic into *err, repanics
+// anything else, and is a no-op when nothing panicked. Deferred by Run and
+// RunTrace, the two ctx-aware generator entry points.
+func recoverCancelled(err *error) {
+	if r := recover(); r != nil {
+		stop, ok := r.(cancelled)
+		if !ok {
+			panic(r)
+		}
+		*err = stop.err
+	}
+}
+
+// Run regenerates one experiment under ctx: mid-run cancellation (an
+// interrupted figure run) comes back as an ordinary error instead of the
+// panic a directly-invoked generator raises for what would otherwise be a
+// static-definition bug.
+func Run(ctx context.Context, g Generator, c Config) (tab harness.Table, err error) {
+	c.Ctx = ctx
+	defer recoverCancelled(&err)
+	return g.Run(c), nil
 }
 
 // Quick returns a configuration small enough for unit tests and benchmarks

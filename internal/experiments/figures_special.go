@@ -31,7 +31,8 @@ func Figure13(c Config) (string, *trace.Recorder) {
 			repro.WithSeed(rng.DeriveSeed(c.Seed, "fig13")),
 			repro.WithTrace(rec),
 		}}
-	if _, err := c.engine().Run(context.Background(), sc); err != nil {
+	if _, err := c.engine().Run(c.ctx(), sc); err != nil {
+		c.checkCancelled(err)
 		panic(fmt.Sprintf("experiments: fig13: %v", err))
 	}
 	var sb strings.Builder
@@ -40,6 +41,16 @@ func Figure13(c Config) (string, *trace.Recorder) {
 		panic(err) // strings.Builder cannot fail; a failure is a bug
 	}
 	return sb.String(), rec
+}
+
+// RunTrace is Figure13 under ctx — the Run counterpart for the one
+// experiment that is a timeline rather than a table, with mid-run
+// cancellation returned as an error.
+func RunTrace(ctx context.Context, c Config) (render string, rec *trace.Recorder, err error) {
+	c.Ctx = ctx
+	defer recoverCancelled(&err)
+	render, rec = Figure13(c)
+	return render, rec, nil
 }
 
 // Figure14 regenerates Figure 14: the per-trial difference in total time
@@ -88,12 +99,15 @@ func Figure14(c Config) harness.Table {
 	for i := range totals {
 		totals[i] = make([]float64, trials)
 	}
-	for cell := range c.engine().SweepSeeded(context.Background(), scenarios, trials, seed) {
+	for cell := range c.engine().SweepSeeded(c.ctx(), scenarios, trials, seed) {
 		if cell.Err != nil {
+			c.checkCancelled(cell.Err)
 			panic(fmt.Sprintf("experiments: fig14: %v", cell.Err))
 		}
 		totals[cell.ScenarioIndex][cell.SeedIndex] = us(cell.Result.Batch.TotalTime)
 	}
+	// A cancelled sweep closes the stream early without an error cell.
+	c.checkCancelled(c.ctx().Err())
 
 	agg := repro.NewAggregator(repro.Metric{Name: "llb_minus_beb_us"})
 	agg.KeepOutliers = true // the paper fits raw per-trial scatter

@@ -1,0 +1,304 @@
+// Package store implements the persistence layer of the result store: an
+// append-only JSONL record log with an in-memory index keyed by
+// (fingerprint, seed). The log is the durable half of the cache — every
+// record is one line, written in a single write call, so a crash or SIGKILL
+// can corrupt at most the final line, and Open recovers by truncating the
+// torn tail and skipping unparseable interior lines. The public half — what
+// a fingerprint is and what the payloads mean — lives in the root package's
+// store.go; this package only moves opaque JSON payloads.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Key identifies one record: the content address of a scenario plus the
+// seed it ran with. Records are the memoized results of pure functions of
+// their Key, so a Put that collides with an existing Key supersedes it.
+type Key struct {
+	Fingerprint string
+	Seed        uint64
+}
+
+// record is the JSONL wire envelope, one per line.
+type record struct {
+	Fingerprint string          `json:"fp"`
+	Seed        uint64          `json:"seed"`
+	Payload     json.RawMessage `json:"result"`
+}
+
+// span locates one record line in the file.
+type span struct {
+	off int64
+	len int64
+}
+
+// Stats describes the health of an open log.
+type Stats struct {
+	// Records is the number of live (latest-per-key) records.
+	Records int
+	// Stale counts superseded records still occupying file space; Compact
+	// reclaims them.
+	Stale int
+	// Corrupt counts unparseable interior lines skipped at Open (a torn
+	// final line is truncated silently instead — it is the expected residue
+	// of an interrupted run, not damage).
+	Corrupt int
+	// Bytes is the current file size.
+	Bytes int64
+}
+
+// Log is an append-only JSONL record log with an in-memory index. It is
+// safe for concurrent readers and writers: the index and the file tail are
+// guarded by one mutex, and records are immutable once written.
+type Log struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	index   map[Key]span
+	end     int64 // offset past the last good record; appends go here
+	stale   int
+	corrupt int
+}
+
+// Open opens (creating if needed) the log at path and rebuilds its index.
+// Recovery rules: a final line not terminated by '\n' (a torn write from a
+// killed process) is truncated away; an interior line that is complete but
+// unparseable is skipped and counted in Stats.Corrupt. Later records win
+// when a key appears more than once.
+//
+// The file is opened O_APPEND, so every record lands atomically at the real
+// end of file even when separate processes append to one log; each process
+// replays only the records present when it opened, and simply recomputes
+// (and supersedes) the rest.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{path: path, f: f, index: make(map[Key]span)}
+	if err := l.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// load scans the file from the start, building the index and locating the
+// append offset.
+func (l *Log) load() error {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReader(l.f)
+	var off int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// A torn tail (bytes with no terminating newline): truncate it
+			// so the next append starts a clean line.
+			if len(line) > 0 {
+				if terr := l.f.Truncate(off); terr != nil {
+					return fmt.Errorf("store: truncating torn tail of %s: %w", l.path, terr)
+				}
+			}
+			break
+		}
+		if err != nil {
+			return err
+		}
+		l.addLine(line, off)
+		off += int64(len(line))
+	}
+	l.end = off
+	return nil
+}
+
+// addLine indexes one complete line, counting it corrupt if unparseable.
+func (l *Log) addLine(line []byte, off int64) {
+	var rec record
+	if err := json.Unmarshal(line, &rec); err != nil || rec.Fingerprint == "" {
+		l.corrupt++
+		return
+	}
+	k := Key{Fingerprint: rec.Fingerprint, Seed: rec.Seed}
+	if _, dup := l.index[k]; dup {
+		l.stale++
+	}
+	l.index[k] = span{off: off, len: int64(len(line))}
+}
+
+// readLocked returns the parsed record at s. Caller holds l.mu.
+func (l *Log) readLocked(s span) (record, error) {
+	buf := make([]byte, s.len)
+	if _, err := l.f.ReadAt(buf, s.off); err != nil {
+		return record{}, err
+	}
+	var rec record
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return record{}, fmt.Errorf("store: record at offset %d unreadable: %w", s.off, err)
+	}
+	return rec, nil
+}
+
+// Get returns the payload stored under k. The boolean reports whether the
+// key is present; the error reports an I/O or decode failure on a present
+// key (which callers should treat as a miss, not a fatality).
+func (l *Log) Get(k Key) (json.RawMessage, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s, ok := l.index[k]
+	if !ok {
+		return nil, false, nil
+	}
+	rec, err := l.readLocked(s)
+	if err != nil {
+		return nil, true, err
+	}
+	// Defence in depth against index/file drift (a concurrent process's
+	// recovery truncating and re-filling our indexed offsets, say): a
+	// record that decodes but carries the wrong key is reported as an
+	// error, which callers treat as a miss-and-recompute, never as a hit.
+	if rec.Fingerprint != k.Fingerprint || rec.Seed != k.Seed {
+		return nil, true, fmt.Errorf("store: record at offset %d is keyed (%s, %d), index expected (%s, %d)",
+			s.off, rec.Fingerprint, rec.Seed, k.Fingerprint, k.Seed)
+	}
+	return rec.Payload, true, nil
+}
+
+// Put appends a record for k, superseding any existing one. The line is
+// written in a single O_APPEND write call — atomic at end-of-file even
+// against appends from other processes — and the index is updated only
+// after the write succeeds, so concurrent readers never observe a
+// half-written record.
+func (l *Log) Put(k Key, payload json.RawMessage) error {
+	line, err := json.Marshal(record{Fingerprint: k.Fingerprint, Seed: k.Seed, Payload: payload})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(line); err != nil {
+		return err
+	}
+	// O_APPEND decided where the line really landed (another process may
+	// have appended since our last write); the fd position now sits just
+	// past it.
+	pos, err := l.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	if _, dup := l.index[k]; dup {
+		l.stale++
+	}
+	l.index[k] = span{off: pos - int64(len(line)), len: int64(len(line))}
+	l.end = pos
+	return nil
+}
+
+// Len returns the number of live records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.index)
+}
+
+// Stats returns the log's current statistics.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Records: len(l.index), Stale: l.stale, Corrupt: l.corrupt, Bytes: l.end}
+}
+
+// Compact rewrites the log keeping only the live record per key, in sorted
+// key order (so equal stores compact to byte-identical files), and swaps it
+// in atomically via rename. Stale and corrupt counts reset to zero. Every
+// step that can fail happens before the rename — the replacement file is
+// written, synced, and reopened for appending first — so a failed Compact
+// leaves the log exactly as it was. Unlike appends, Compact must not run
+// while another process has the same log open (their handle would keep the
+// unlinked pre-compaction file).
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	keys := make([]Key, 0, len(l.index))
+	for k := range l.index {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Fingerprint != keys[j].Fingerprint {
+			return keys[i].Fingerprint < keys[j].Fingerprint
+		}
+		return keys[i].Seed < keys[j].Seed
+	})
+
+	tmpPath := l.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	w := bufio.NewWriter(tmp)
+	newIndex := make(map[Key]span, len(keys))
+	var off int64
+	for _, k := range keys {
+		buf := make([]byte, l.index[k].len)
+		if _, err := l.f.ReadAt(buf, l.index[k].off); err != nil {
+			return fail(err)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fail(err)
+		}
+		newIndex[k] = span{off: off, len: int64(len(buf))}
+		off += int64(len(buf))
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	// The rename is the commit point: tmp's handle survives it (same
+	// inode), so nothing after the rename can fail and strand writes.
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		return fail(err)
+	}
+	l.f.Close()
+	l.f = tmp
+	l.index = newIndex
+	l.end = off
+	l.stale = 0
+	l.corrupt = 0
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Sync()
+}
+
+// Close syncs and closes the log. The Log is unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

@@ -1,0 +1,304 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func tempLog(t *testing.T) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, path
+}
+
+func payload(s string) json.RawMessage { return json.RawMessage(fmt.Sprintf("{%q:1}", s)) }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	l, _ := tempLog(t)
+	k := Key{Fingerprint: "fp-a", Seed: 7}
+	if _, ok, _ := l.Get(k); ok {
+		t.Fatal("empty log reported a record")
+	}
+	if err := l.Put(k, payload("a")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := l.Get(k)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, payload("a")) {
+		t.Fatalf("payload %s, want %s", got, payload("a"))
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	l, path := tempLog(t)
+	for seed := uint64(0); seed < 10; seed++ {
+		if err := l.Put(Key{"fp", seed}, payload(fmt.Sprint(seed))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Len() != 10 {
+		t.Fatalf("reopened log has %d records, want 10", l2.Len())
+	}
+	got, ok, err := l2.Get(Key{"fp", 3})
+	if err != nil || !ok || !bytes.Equal(got, payload("3")) {
+		t.Fatalf("Get after reopen: %s ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestLastPutWins(t *testing.T) {
+	l, path := tempLog(t)
+	k := Key{"fp", 1}
+	if err := l.Put(k, payload("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Put(k, payload("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := l.Get(k)
+	if !bytes.Equal(got, payload("new")) {
+		t.Fatalf("got %s, want the superseding record", got)
+	}
+	if st := l.Stats(); st.Records != 1 || st.Stale != 1 {
+		t.Fatalf("stats %+v, want 1 record and 1 stale", st)
+	}
+	l.Close()
+	// Replay order preserves last-wins across reopen too.
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got, _, _ = l2.Get(k)
+	if !bytes.Equal(got, payload("new")) {
+		t.Fatalf("after reopen got %s, want the superseding record", got)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	l, path := tempLog(t)
+	if err := l.Put(Key{"fp", 1}, payload("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Put(Key{"fp", 2}, payload("b")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Simulate a crash mid-append: a record with no terminating newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"fp":"fp","seed":3,"result":{"half`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != 2 {
+		t.Fatalf("recovered %d records, want 2", l2.Len())
+	}
+	if st := l2.Stats(); st.Corrupt != 0 {
+		t.Fatalf("a torn tail is not corruption; stats %+v", st)
+	}
+	// The log must be appendable again and the new record must survive a
+	// further reopen (i.e. the tail really was truncated, not glued onto).
+	if err := l2.Put(Key{"fp", 3}, payload("c")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if l3.Len() != 3 {
+		t.Fatalf("after repair+append got %d records, want 3", l3.Len())
+	}
+	if got, ok, _ := l3.Get(Key{"fp", 3}); !ok || !bytes.Equal(got, payload("c")) {
+		t.Fatalf("record written after repair lost: %s ok=%v", got, ok)
+	}
+}
+
+func TestCorruptInteriorLineSkipped(t *testing.T) {
+	l, path := tempLog(t)
+	if err := l.Put(Key{"fp", 1}, payload("a")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A complete but garbled line (bit rot, editor accident), then a good one.
+	if _, err := f.WriteString("this is not json\n"); err != nil {
+		t.Fatal(err)
+	}
+	line, _ := json.Marshal(record{Fingerprint: "fp", Seed: 2, Payload: payload("b")})
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Len() != 2 {
+		t.Fatalf("recovered %d records, want 2 (good lines on both sides of the bad one)", l2.Len())
+	}
+	if st := l2.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats %+v, want 1 corrupt line", st)
+	}
+	if got, ok, _ := l2.Get(Key{"fp", 2}); !ok || !bytes.Equal(got, payload("b")) {
+		t.Fatalf("record after the corrupt line lost: %s ok=%v", got, ok)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	l, path := tempLog(t)
+	for i := 0; i < 5; i++ { // rewrite the same 2 keys repeatedly
+		for seed := uint64(0); seed < 2; seed++ {
+			if err := l.Put(Key{"fp", seed}, payload(fmt.Sprintf("v%d-%d", i, seed))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := l.Stats()
+	if before.Stale != 8 {
+		t.Fatalf("stats %+v, want 8 stale", before)
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Stats()
+	if after.Records != 2 || after.Stale != 0 || after.Bytes >= before.Bytes {
+		t.Fatalf("after compact %+v (before %+v)", after, before)
+	}
+	for seed := uint64(0); seed < 2; seed++ {
+		got, ok, err := l.Get(Key{"fp", seed})
+		want := payload(fmt.Sprintf("v4-%d", seed))
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("seed %d after compact: %s ok=%v err=%v", seed, got, ok, err)
+		}
+	}
+	// Compact output must itself reopen cleanly and stay appendable.
+	l.Close()
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Len() != 2 {
+		t.Fatalf("compacted file reopened with %d records, want 2", l2.Len())
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	l, path := tempLog(t)
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := Key{fmt.Sprintf("fp-%d", w), uint64(i)}
+				if err := l.Put(k, payload(fmt.Sprintf("%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok, err := l.Get(k); err != nil || !ok || !bytes.Equal(got, payload(fmt.Sprintf("%d-%d", w, i))) {
+					t.Errorf("read-own-write %v: %s ok=%v err=%v", k, got, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != writers*perWriter {
+		t.Fatalf("got %d records, want %d", l.Len(), writers*perWriter)
+	}
+	l.Close()
+	// Every concurrently-written line must replay.
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	st := l2.Stats()
+	if st.Records != writers*perWriter || st.Corrupt != 0 {
+		t.Fatalf("after reopen %+v, want %d clean records", st, writers*perWriter)
+	}
+}
+
+// TestCrossHandleAppends mimics two processes sharing one log: two
+// independently-opened Logs interleave Puts. O_APPEND makes every line land
+// at the real end of file, so no handle's write can clobber the other's,
+// and a fresh Open replays the union.
+func TestCrossHandleAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	a, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	for i := uint64(0); i < 10; i++ {
+		if err := a.Put(Key{"fp-a", i}, payload(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Put(Key{"fp-b", i}, payload(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each handle still reads its own records back (its index offsets must
+	// be the real on-disk positions despite the other handle's appends).
+	for i := uint64(0); i < 10; i++ {
+		if got, ok, err := a.Get(Key{"fp-a", i}); err != nil || !ok || !bytes.Equal(got, payload(fmt.Sprintf("a%d", i))) {
+			t.Fatalf("handle a lost its own record %d: %s ok=%v err=%v", i, got, ok, err)
+		}
+		if got, ok, err := b.Get(Key{"fp-b", i}); err != nil || !ok || !bytes.Equal(got, payload(fmt.Sprintf("b%d", i))) {
+			t.Fatalf("handle b lost its own record %d: %s ok=%v err=%v", i, got, ok, err)
+		}
+	}
+	// A third open sees the interleaved union, all lines intact.
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st := c.Stats()
+	if st.Records != 20 || st.Corrupt != 0 {
+		t.Fatalf("union replay %+v, want 20 clean records", st)
+	}
+}

@@ -39,6 +39,13 @@
 //		repro.MakespanSlots(), repro.TotalTime())
 //	_ = (repro.CSVSink{W: os.Stdout}).Emit(rep)
 //
+//	// Runs are pure functions of (scenario, seed), so grids memoize: an
+//	// engine carrying a Store replays cells it has seen before instead of
+//	// simulating them (store.go), keyed by Scenario.Fingerprint.
+//	st, _ := repro.OpenStore("results-store")
+//	rep2, _ := eng.WithStore(st).Aggregate(ctx, scenarios, repro.Seeds(1, 30),
+//		repro.MakespanSlots(), repro.TotalTime()) // bit-identical, zero simulations
+//
 // The legacy string-keyed entry points (RunWiFiBatch, RunAbstractBatch,
 // RunBestOfK, RunTreeBatch, RunContinuousTraffic) remain as thin wrappers
 // over the Scenario path and produce bit-identical results.

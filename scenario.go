@@ -8,10 +8,15 @@ package repro
 // of them across a worker pool.
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/mac"
+	"repro/internal/phy"
 )
 
 // --- Algorithm --------------------------------------------------------------
@@ -237,6 +242,128 @@ func (s Scenario) String() string {
 		algo = "-"
 	}
 	return fmt.Sprintf("%s/%s/n=%d/%s", model, algo, s.N, s.workload().workloadName())
+}
+
+// --- Fingerprint ------------------------------------------------------------
+
+// storeSchemaVersion versions both the fingerprint encoding and the stored
+// Result payload layout. Bump it when either changes shape — old store
+// records then simply never match, instead of replaying under a stale
+// interpretation.
+const storeSchemaVersion = "v1"
+
+// Fingerprint returns the scenario's canonical content address: a stable
+// hash of everything that determines its Result besides the seed — the
+// model name, the workload and its parameters, N, the algorithm (only when
+// the workload consults it), the raw-seed flag, and, for the wifi model,
+// the fully materialized MAC configuration (station layout included). Two
+// scenarios with equal fingerprints run with equal seeds produce
+// bit-identical Results, which is what lets the result store replay instead
+// of simulate; the store keys every record by (fingerprint, seed).
+//
+// The encoding is versioned by storeSchemaVersion and pinned by a golden
+// test, so fingerprints are stable across processes and releases; an
+// intentional change to either the encoding or the Result layout must bump
+// the version. Options that cannot affect the Result (WithSeed, WithTrace,
+// and — under the abstract models, which have no MAC — payload, RTS/CTS and
+// config tweaks) are excluded, so equal work shares one address.
+//
+// Scenarios with no canonical encoding return an error: a nil Model, an
+// unknown model or workload, or a MAC configuration carrying a custom
+// path-loss model this package cannot serialize. The engine runs such
+// scenarios without caching them.
+func (s Scenario) Fingerprint() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "repro/result-store %s\n", storeSchemaVersion)
+
+	if s.Model == nil {
+		return "", fmt.Errorf("repro: cannot fingerprint a scenario without a Model")
+	}
+	model := s.Model.Name()
+	fmt.Fprintf(&b, "model=%s\n", model)
+	fmt.Fprintf(&b, "n=%d\n", s.N)
+
+	if s.algorithmRequired() {
+		fmt.Fprintf(&b, "algo=%s\n", s.Algorithm.String())
+	}
+
+	switch w := s.workload().(type) {
+	case SingleBatch:
+		b.WriteString("workload=single-batch\n")
+	case TreeWorkload:
+		b.WriteString("workload=tree\n")
+	case BestOfKWorkload:
+		fmt.Fprintf(&b, "workload=best-of-k k=%d\n", w.K)
+	case ContinuousWorkload:
+		a := w.Arrivals
+		fmt.Fprintf(&b, "workload=continuous arrivals=%s rate=%g gap=%d alpha=%g burst=%g horizon=%d\n",
+			a.kind, a.rate, int64(a.gap), a.alpha, a.burst, int64(w.Horizon))
+	default:
+		return "", fmt.Errorf("repro: cannot fingerprint unknown workload %T", w)
+	}
+
+	o := buildOptions(s.Options)
+	fmt.Fprintf(&b, "rawseed=%t\n", o.rawSeed)
+
+	switch model {
+	case "abstract", "abstract-unaligned":
+		// The abstract models consume only (algorithm, n, stream); payload,
+		// RTS/CTS and MAC config tweaks do not reach them.
+	case "wifi":
+		if err := writeMACConfig(&b, materializeMACConfig(s.workload(), o), s.N); err != nil {
+			return "", err
+		}
+	default:
+		return "", fmt.Errorf("repro: cannot fingerprint unknown model %q", model)
+	}
+
+	sum := sha256.Sum256([]byte(b.String()))
+	return storeSchemaVersion + ":" + hex.EncodeToString(sum[:]), nil
+}
+
+// writeMACConfig encodes every result-affecting field of a materialized MAC
+// configuration. Fields are written explicitly — scenario_test.go pins the
+// field counts of mac.Config and phy.Config, so growing either type forces
+// a conscious update here (and a storeSchemaVersion bump).
+func writeMACConfig(b *strings.Builder, cfg mac.Config, n int) error {
+	fmt.Fprintf(b, "mac: datarate=%d controlrate=%d slot=%d sifs=%d difs=%d eifs=%d ackto=%d payload=%d overhead=%d cwmin=%d cwmax=%d rtscts=%t rtsbytes=%d ctsbytes=%d ackbytes=%d maxevents=%d\n",
+		cfg.DataRate, cfg.ControlRate, int64(cfg.SlotTime), int64(cfg.SIFS), int64(cfg.DIFS),
+		int64(cfg.EIFS), int64(cfg.AckTimeout), cfg.PayloadBytes, cfg.OverheadBytes,
+		cfg.CWMin, cfg.CWMax, cfg.RTSCTS, cfg.RTSBytes, cfg.CTSBytes, cfg.AckBytes, cfg.MaxEvents)
+	r := cfg.Radio
+	fmt.Fprintf(b, "radio: txpower=%g noise=%g cs=%g abort=%d lossprob=%g lossseed=%d\n",
+		float64(r.TxPower), float64(r.NoiseFloor), float64(r.CSThreshold),
+		int64(r.AbortOverlapAfter), r.FrameLossProb, r.LossSeed)
+
+	switch pl := r.PathLoss.(type) {
+	case nil:
+		// The medium defaults a nil model to NewLogDistance(); encode the
+		// default it resolves to, so nil and the explicit default share an
+		// address.
+		d := phy.NewLogDistance()
+		fmt.Fprintf(b, "pathloss: logdist exp=%g refdist=%g refloss=%g\n",
+			d.Exponent, d.ReferenceDist, float64(d.ReferenceLoss))
+	case phy.LogDistance:
+		fmt.Fprintf(b, "pathloss: logdist exp=%g refdist=%g refloss=%g\n",
+			pl.Exponent, pl.ReferenceDist, float64(pl.ReferenceLoss))
+	case phy.FixedLoss:
+		fmt.Fprintf(b, "pathloss: fixed %g\n", float64(pl))
+	default:
+		return fmt.Errorf("repro: cannot fingerprint custom path-loss model %T", pl)
+	}
+
+	if cfg.Layout == nil {
+		b.WriteString("layout: grid\n")
+	} else {
+		// Layouts must be deterministic (the simulator requires it), so the
+		// materialized positions are the layout's canonical form.
+		b.WriteString("layout:")
+		for _, p := range cfg.Layout(n) {
+			fmt.Fprintf(b, " %g,%g", p.X, p.Y)
+		}
+		b.WriteString("\n")
+	}
+	return nil
 }
 
 // --- Result -----------------------------------------------------------------

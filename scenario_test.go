@@ -135,3 +135,38 @@ func TestScenarioWithOptionsDoesNotMutate(t *testing.T) {
 		t.Error("sibling WithOptions copies shared a seed")
 	}
 }
+
+// FuzzParseAlgorithm exercises the parser on arbitrary input: it must never
+// panic, and every spec it accepts must round-trip through String —
+// a.String() is the algorithm's identity (it names the RNG stream and feeds
+// Scenario.Fingerprint), so an accepted-but-unstable spec would corrupt
+// both determinism and content addressing.
+func FuzzParseAlgorithm(f *testing.F) {
+	for _, spec := range []string{
+		"BEB", "LB", "LLB", "STB",
+		"FIXED:1", "FIXED:64", "FIXED:0", "FIXED:-3", "FIXED:9999999999999999999999",
+		"POLY:2", "POLY:2.5", "POLY:0.5", "POLY:NaN", "POLY:Inf", "POLY:1e309",
+		"", "WAT", "beb", "best-of-3", "FIXED:", "POLY:", "FIXED:1:2", ":::", "FIXED:+64", "POLY:+2",
+	} {
+		f.Add(spec)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		a, err := ParseAlgorithm(spec)
+		if err != nil {
+			if !a.IsZero() {
+				t.Fatalf("ParseAlgorithm(%q) errored but returned non-zero %v", spec, a)
+			}
+			return
+		}
+		if a.String() != spec {
+			t.Fatalf("ParseAlgorithm(%q).String() = %q", spec, a.String())
+		}
+		b, err := ParseAlgorithm(a.String())
+		if err != nil {
+			t.Fatalf("accepted spec %q does not re-parse: %v", spec, err)
+		}
+		if b != a {
+			t.Fatalf("round trip of %q: %v != %v", spec, b, a)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package repro
+
+// Store is the content-addressed result store: the first caching layer of
+// the serving architecture. Simulation here is a pure function of
+// (scenario, seed) — the repo guarantees bit-identical replay — so Results
+// are perfectly memoizable. A Store persists every computed Result in an
+// append-only JSONL log (internal/store) keyed by (Scenario.Fingerprint,
+// seed); an Engine carrying a Store serves sweep cells from the log without
+// simulating, writes misses through, and collapses identical in-flight
+// cells into one simulation (singleflight). Interrupted sweeps resume for
+// free: every record is durable the moment its cell completes, so a rerun
+// replays the finished cells and simulates only the remainder
+// (cmd/figures -cache).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/store"
+)
+
+// storeLogName is the record log's file name inside the store directory.
+const storeLogName = "results.jsonl"
+
+// Store is a persistent (fingerprint, seed) → Result cache, safe for
+// concurrent use by any number of engines and goroutines — including
+// engines in separate processes appending to the same log, since records
+// are single-write lines and replay is last-wins. Open one with OpenStore
+// and attach it to an Engine via the Store field or WithStore.
+type Store struct {
+	dir string
+	log *store.Log
+
+	hits, misses atomic.Int64
+
+	mu       sync.Mutex
+	inflight map[store.Key]*flight
+	writeErr error // first Put failure, surfaced in Stats
+}
+
+// flight is one in-progress computation of a cell; followers wait on done
+// and share the leader's outcome.
+type flight struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// OpenStore opens (creating if needed) the result store rooted at dir and
+// replays its record log into the in-memory index. Corrupt interior lines
+// are skipped and counted; a torn final line — the residue of a killed
+// process — is truncated away. The same dir must not be opened twice within
+// one process; across processes, concurrent appends are safe.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("repro: opening store: %w", err)
+	}
+	l, err := store.Open(filepath.Join(dir, storeLogName))
+	if err != nil {
+		return nil, fmt.Errorf("repro: opening store: %w", err)
+	}
+	return &Store{dir: dir, log: l, inflight: make(map[store.Key]*flight)}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Get returns the stored Result for (fp, seed), if present. A record that
+// is present but unreadable (I/O error, tampered payload) reports a miss —
+// the engine then recomputes and supersedes it.
+func (st *Store) Get(fp string, seed uint64) (Result, bool) {
+	payload, ok, err := st.log.Get(store.Key{Fingerprint: fp, Seed: seed})
+	if !ok || err != nil {
+		return Result{}, false
+	}
+	var r Result
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// Put stores the Result for (fp, seed), superseding any existing record.
+// The record is durable (written, single line) when Put returns.
+func (st *Store) Put(fp string, seed uint64, r Result) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("repro: encoding result for store: %w", err)
+	}
+	return st.log.Put(store.Key{Fingerprint: fp, Seed: seed}, payload)
+}
+
+// do serves one cell: a Get hit replays the stored Result; otherwise the
+// first caller for (fp, seed) becomes the leader and simulates while
+// concurrent duplicates wait and share its outcome, so identical in-flight
+// cells cost one simulation. Successful results are written through before
+// followers are released; errors are never cached (a follower whose leader
+// failed retries from the top, where its own context error surfaces). A
+// write-through failure does not fail the cell — the computed Result is
+// served and the error is recorded in Stats.WriteErr.
+func (st *Store) do(fp string, seed uint64, run func() (Result, error)) (Result, error) {
+	k := store.Key{Fingerprint: fp, Seed: seed}
+	for {
+		if res, ok := st.Get(fp, seed); ok {
+			st.hits.Add(1)
+			return res, nil
+		}
+		st.mu.Lock()
+		if f, ok := st.inflight[k]; ok {
+			st.mu.Unlock()
+			<-f.done
+			if f.err == nil {
+				st.hits.Add(1)
+				return f.res, nil
+			}
+			continue
+		}
+		// Double-check under the lock: a leader may have completed (written
+		// through and left) between our Get above and acquiring the lock.
+		if res, ok := st.Get(fp, seed); ok {
+			st.mu.Unlock()
+			st.hits.Add(1)
+			return res, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		st.inflight[k] = f
+		st.mu.Unlock()
+
+		st.misses.Add(1)
+		f.res, f.err = run()
+		if f.err == nil {
+			if perr := st.Put(fp, seed, f.res); perr != nil {
+				st.mu.Lock()
+				if st.writeErr == nil {
+					st.writeErr = perr
+				}
+				st.mu.Unlock()
+			}
+		}
+		st.mu.Lock()
+		delete(st.inflight, k)
+		st.mu.Unlock()
+		close(f.done)
+		return f.res, f.err
+	}
+}
+
+// StoreStats describes a store's contents and its service counters.
+type StoreStats struct {
+	// Records is the number of live records; Stale counts superseded ones
+	// still occupying log space (Compact reclaims them); Corrupt counts
+	// unparseable lines skipped when the log was opened; Bytes is the log's
+	// file size.
+	Records, Stale, Corrupt int
+	Bytes                   int64
+	// Hits counts cells the engine served from the store (replayed or
+	// joined to an in-flight duplicate) since OpenStore; Misses counts
+	// cells it had to simulate. Direct Get/Put calls are not counted.
+	Hits, Misses int64
+	// WriteErr is the first write-through failure, if any; the affected
+	// cells were served correctly but will be re-simulated next run.
+	WriteErr error
+}
+
+// Stats returns the store's current statistics.
+func (st *Store) Stats() StoreStats {
+	ls := st.log.Stats()
+	st.mu.Lock()
+	werr := st.writeErr
+	st.mu.Unlock()
+	return StoreStats{
+		Records: ls.Records, Stale: ls.Stale, Corrupt: ls.Corrupt, Bytes: ls.Bytes,
+		Hits: st.hits.Load(), Misses: st.misses.Load(), WriteErr: werr,
+	}
+}
+
+// Compact rewrites the log keeping only the live record per key (sorted, so
+// equal stores compact to byte-identical files) and swaps it in atomically.
+// Unlike appends, Compact is not cross-process safe: run it only while no
+// other process has the store open.
+func (st *Store) Compact() error { return st.log.Compact() }
+
+// Close syncs and closes the store. The Store is unusable afterwards.
+func (st *Store) Close() error { return st.log.Close() }

@@ -1,0 +1,423 @@
+package repro
+
+// Tests for the content-addressed result store: fingerprint stability and
+// canonicalization, bit-identical replay with zero simulator invocations,
+// crash recovery, and concurrent writers deduplicated by singleflight.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mac"
+	"repro/internal/phy"
+)
+
+// countingModel wraps a Model and counts simulator invocations, so tests
+// can assert that warm-store sweeps never simulate.
+type countingModel struct {
+	inner Model
+	runs  *atomic.Int64
+}
+
+func (m countingModel) Name() string { return m.inner.Name() }
+
+func (m countingModel) run(ctx context.Context, s Scenario, o options) (Result, error) {
+	m.runs.Add(1)
+	return m.inner.run(ctx, s, o)
+}
+
+// --- Fingerprint ------------------------------------------------------------
+
+// TestFingerprintGolden pins fingerprints across processes and releases:
+// these exact strings identify records in every store ever written, so a
+// diff here is a cache-invalidation event and must come with a
+// storeSchemaVersion bump (which changes every fingerprint at once).
+func TestFingerprintGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Scenario
+		want string
+	}{
+		{"wifi-batch", Scenario{Model: WiFi(), Algorithm: MustAlgorithm("BEB"), N: 30},
+			"v1:a95031db10bddfaf42d5066df5d761121c59c25f4a1e957fcb68867a6c4b20be"},
+		{"abstract-batch", Scenario{Model: Abstract(), Algorithm: MustAlgorithm("STB"), N: 100},
+			"v1:22bca47b6673bfd5e23ae1992cde7d10df3f09e89c74c082459e59fb3815393e"},
+		{"tree", Scenario{Model: Abstract(), N: 50, Workload: TreeWorkload{}},
+			"v1:30a2d6150613410770896a6a640718f2d5c5bf587c8d4e1b2ccc40a200ee4ca2"},
+		{"best-of-3", Scenario{Model: WiFi(), N: 50, Workload: BestOfKWorkload{K: 3}},
+			"v1:7e400222f5e8d9a4585b89f897f076f1bbaaa8a90c19097557639ea2c6181121"},
+		{"continuous", Scenario{Model: WiFi(), Algorithm: MustAlgorithm("BEB"), N: 20,
+			Workload: ContinuousWorkload{Arrivals: Poisson(100), Horizon: time.Second}},
+			"v1:870bd7a7c17328f45ac65e34eaca37e8802666016ae7519db6a03edd046591a5"},
+		{"wifi-tweaked", Scenario{Model: WiFi(), Algorithm: MustAlgorithm("LLB"), N: 30,
+			Options: []Option{WithPayload(1024), WithRTSCTS(), WithConfig(func(c *MACConfig) { c.CWMin = 16 })}},
+			"v1:bd4b46df84e7cd5ab6f25e2d0eba1fd6a08bca093eed74b998d9cc643431d1e3"},
+	}
+	for _, tc := range cases {
+		got, err := tc.s.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: fingerprint %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestFingerprintCanonicalization checks what the address must and must not
+// depend on.
+func TestFingerprintCanonicalization(t *testing.T) {
+	fp := func(s Scenario) string {
+		t.Helper()
+		v, err := s.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	base := Scenario{Model: WiFi(), Algorithm: MustAlgorithm("BEB"), N: 30}
+
+	same := []struct {
+		name string
+		s    Scenario
+	}{
+		{"seed is the record key, not part of the address", base.WithOptions(WithSeed(99))},
+		{"trace recording does not affect the Result", base.WithOptions(WithTrace(nil))},
+		{"nil workload means SingleBatch", Scenario{Model: WiFi(), Algorithm: MustAlgorithm("BEB"), N: 30, Workload: SingleBatch{}}},
+	}
+	for _, tc := range same {
+		if fp(tc.s) != fp(base) {
+			t.Errorf("%s: fingerprint changed", tc.name)
+		}
+	}
+
+	diff := []struct {
+		name string
+		s    Scenario
+	}{
+		{"n", Scenario{Model: WiFi(), Algorithm: MustAlgorithm("BEB"), N: 31}},
+		{"algorithm", Scenario{Model: WiFi(), Algorithm: MustAlgorithm("LLB"), N: 30}},
+		{"model", Scenario{Model: Abstract(), Algorithm: MustAlgorithm("BEB"), N: 30}},
+		{"unaligned model", Scenario{Model: AbstractUnaligned(), Algorithm: MustAlgorithm("BEB"), N: 30}},
+		{"payload", base.WithOptions(WithPayload(1024))},
+		{"rtscts", base.WithOptions(WithRTSCTS())},
+		{"raw seed consumption", base.WithOptions(WithRawSeed())},
+		{"config tweak", base.WithOptions(WithConfig(func(c *MACConfig) { c.AckTimeout = 80 * time.Microsecond }))},
+		{"layout", base.WithOptions(WithConfig(func(c *MACConfig) { c.Layout = phy.NearFarLayout }))},
+		{"workload", Scenario{Model: WiFi(), Algorithm: MustAlgorithm("BEB"), N: 30, Workload: BestOfKWorkload{K: 3}}},
+	}
+	seen := map[string]string{fp(base): "base"}
+	for _, tc := range diff {
+		v := fp(tc.s)
+		if prev, dup := seen[v]; dup {
+			t.Errorf("%s: fingerprint collides with %s", tc.name, prev)
+		}
+		seen[v] = tc.name
+	}
+
+	// The abstract model has no MAC, so MAC-only options are canonicalized
+	// away rather than splitting the address.
+	abs := Scenario{Model: Abstract(), Algorithm: MustAlgorithm("BEB"), N: 30}
+	if fp(abs) != fp(abs.WithOptions(WithPayload(1024), WithRTSCTS())) {
+		t.Error("MAC-only options changed an abstract scenario's fingerprint")
+	}
+	// Tree and best-of-k prescribe their own algorithm; the unused field
+	// must not split the address.
+	tree := Scenario{Model: Abstract(), N: 50, Workload: TreeWorkload{}}
+	if fp(tree) != fp(Scenario{Model: Abstract(), Algorithm: MustAlgorithm("BEB"), N: 50, Workload: TreeWorkload{}}) {
+		t.Error("ignored Algorithm changed a tree scenario's fingerprint")
+	}
+}
+
+func TestFingerprintErrors(t *testing.T) {
+	if _, err := (Scenario{Algorithm: MustAlgorithm("BEB"), N: 10}).Fingerprint(); err == nil {
+		t.Error("nil model fingerprinted")
+	}
+	custom := Scenario{Model: WiFi(), Algorithm: MustAlgorithm("BEB"), N: 10,
+		Options: []Option{WithConfig(func(c *MACConfig) { c.Radio.PathLoss = customPathLoss{} })}}
+	if _, err := custom.Fingerprint(); err == nil {
+		t.Error("custom path-loss model fingerprinted; it has no canonical encoding")
+	}
+}
+
+type customPathLoss struct{}
+
+func (customPathLoss) Loss(float64) phy.DB { return 0 }
+
+// TestFingerprintConfigFieldsPinned fails when mac.Config or phy.Config
+// grows a field, forcing writeMACConfig (and storeSchemaVersion) to be
+// updated in the same change — otherwise the new knob would silently not
+// participate in content addressing.
+func TestFingerprintConfigFieldsPinned(t *testing.T) {
+	if n := reflect.TypeOf(mac.Config{}).NumField(); n != 18 {
+		t.Errorf("mac.Config has %d fields, fingerprint encodes 18: update writeMACConfig and bump storeSchemaVersion", n)
+	}
+	if n := reflect.TypeOf(phy.Config{}).NumField(); n != 7 {
+		t.Errorf("phy.Config has %d fields, fingerprint encodes 7: update writeMACConfig and bump storeSchemaVersion", n)
+	}
+}
+
+// --- Store round trip -------------------------------------------------------
+
+// storeGrid is a small mixed grid covering every result shape the store
+// must round-trip: wifi batch (stations, decomposition), abstract batch,
+// tree, best-of-k, and continuous traffic.
+func storeGrid(wifi, abstract Model) []Scenario {
+	return []Scenario{
+		{Model: wifi, Algorithm: MustAlgorithm("BEB"), N: 20},
+		{Model: abstract, Algorithm: MustAlgorithm("STB"), N: 40},
+		{Model: abstract, N: 30, Workload: TreeWorkload{}},
+		{Model: wifi, N: 20, Workload: BestOfKWorkload{K: 3}},
+		{Model: wifi, Algorithm: MustAlgorithm("BEB"), N: 5,
+			Workload: ContinuousWorkload{Arrivals: Poisson(200), Horizon: 50 * time.Millisecond}},
+	}
+}
+
+func drain(t *testing.T, ch <-chan Cell) []Cell {
+	t.Helper()
+	var cells []Cell
+	for c := range ch {
+		if c.Err != nil {
+			t.Fatalf("cell (%d,%d): %v", c.ScenarioIndex, c.SeedIndex, c.Err)
+		}
+		cells = append(cells, c)
+	}
+	return cells
+}
+
+// TestSweepCachedBitIdentical is the acceptance test: a warm sweep replays
+// every cell bit-identically while invoking the simulator zero times, and
+// the store survives a reopen.
+func TestSweepCachedBitIdentical(t *testing.T) {
+	var runs atomic.Int64
+	grid := storeGrid(countingModel{WiFi(), &runs}, countingModel{Abstract(), &runs})
+	seeds := SequentialSeeds(1, 3)
+	dir := t.TempDir()
+
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := Engine{Store: st}
+	cold := drain(t, eng.Sweep(context.Background(), grid, seeds))
+	wantCells := len(grid) * len(seeds)
+	if got := runs.Load(); got != int64(wantCells) {
+		t.Fatalf("cold sweep simulated %d cells, want %d", got, wantCells)
+	}
+	if s := st.Stats(); s.Hits != 0 || s.Misses != int64(wantCells) || s.Records != wantCells {
+		t.Fatalf("cold stats %+v", s)
+	}
+
+	// Warm replay through the same open store.
+	warm := drain(t, eng.Sweep(context.Background(), grid, seeds))
+	if got := runs.Load(); got != int64(wantCells) {
+		t.Fatalf("warm sweep simulated %d extra cells, want 0", got-int64(wantCells))
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("warm cells differ from cold cells")
+	}
+	if s := st.Stats(); s.Hits != int64(wantCells) || s.WriteErr != nil {
+		t.Fatalf("warm stats %+v", s)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different process (fresh store handle, fresh engine) replays too.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	replay := drain(t, Engine{}.WithStore(st2).Sweep(context.Background(), grid, seeds))
+	if got := runs.Load(); got != int64(wantCells) {
+		t.Fatalf("reopened store simulated %d extra cells, want 0", got-int64(wantCells))
+	}
+	if !reflect.DeepEqual(cold, replay) {
+		t.Fatal("replay after reopen differs from cold cells")
+	}
+}
+
+// TestAggregateCachedReport: a warm Aggregate produces a bit-identical
+// Report without simulating.
+func TestAggregateCachedReport(t *testing.T) {
+	var runs atomic.Int64
+	wifi := countingModel{WiFi(), &runs}
+	grid := []Scenario{
+		{Model: wifi, Algorithm: MustAlgorithm("BEB"), N: 20},
+		{Model: wifi, Algorithm: MustAlgorithm("LLB"), N: 20},
+	}
+	seeds := Seeds(7, 5)
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	eng := Engine{Store: st}
+
+	cold, err := eng.Aggregate(context.Background(), grid, seeds, MakespanSlots(), TotalTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated := runs.Load()
+	warm, err := eng.Aggregate(context.Background(), grid, seeds, MakespanSlots(), TotalTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != simulated {
+		t.Fatalf("warm aggregate simulated %d cells, want 0", got-simulated)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("warm report differs from cold report")
+	}
+}
+
+// TestStoreRecoversFromTornTail: killing a run mid-append loses at most the
+// torn record; the rerun replays the intact ones and re-simulates the rest.
+func TestStoreRecoversFromTornTail(t *testing.T) {
+	var runs atomic.Int64
+	grid := []Scenario{{Model: countingModel{WiFi(), &runs}, Algorithm: MustAlgorithm("BEB"), N: 15}}
+	seeds := SequentialSeeds(1, 4)
+	dir := t.TempDir()
+
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := Engine{Workers: 1, Store: st}
+	cold := drain(t, eng.Sweep(context.Background(), grid, seeds))
+	st.Close()
+
+	// Tear the last record: chop a few bytes off the log, leaving the final
+	// line without its newline — exactly what SIGKILL mid-write leaves.
+	path := filepath.Join(dir, "results.jsonl")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Stats().Records; got != len(seeds)-1 {
+		t.Fatalf("recovered %d records, want %d", got, len(seeds)-1)
+	}
+	before := runs.Load()
+	eng2 := Engine{Workers: 1, Store: st2}
+	warm := drain(t, eng2.Sweep(context.Background(), grid, seeds))
+	if got := runs.Load() - before; got != 1 {
+		t.Fatalf("resume simulated %d cells, want exactly the torn one", got)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("resumed cells differ from the cold run")
+	}
+	if got := st2.Stats().Records; got != len(seeds) {
+		t.Fatalf("store has %d records after resume, want %d", got, len(seeds))
+	}
+}
+
+// TestConcurrentSweepsShareOneStore: two engines sweeping the same grid
+// concurrently through one store stay correct, and singleflight ensures
+// each unique cell is simulated exactly once across both.
+func TestConcurrentSweepsShareOneStore(t *testing.T) {
+	var runs atomic.Int64
+	grid := storeGrid(countingModel{WiFi(), &runs}, countingModel{Abstract(), &runs})
+	seeds := SequentialSeeds(3, 4)
+	wantCells := len(grid) * len(seeds)
+
+	// Reference cells from an uncached serial run.
+	var ref Engine
+	want := drain(t, ref.Sweep(context.Background(), grid, seeds))
+	base := runs.Load()
+
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	results := make([][]Cell, 2)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng := Engine{Store: st}
+			var cells []Cell
+			for c := range eng.Sweep(context.Background(), grid, seeds) {
+				cells = append(cells, c)
+			}
+			results[i] = cells
+		}(i)
+	}
+	wg.Wait()
+
+	if got := runs.Load() - base; got != int64(wantCells) {
+		t.Fatalf("two concurrent sweeps simulated %d cells, want %d (each unique cell exactly once)", got, wantCells)
+	}
+	for i, cells := range results {
+		for _, c := range cells {
+			if c.Err != nil {
+				t.Fatalf("sweep %d cell (%d,%d): %v", i, c.ScenarioIndex, c.SeedIndex, c.Err)
+			}
+		}
+		if !reflect.DeepEqual(cells, want) {
+			t.Fatalf("sweep %d cells differ from the uncached reference", i)
+		}
+	}
+	if s := st.Stats(); s.Records != wantCells || s.WriteErr != nil {
+		t.Fatalf("store stats %+v, want %d records", s, wantCells)
+	}
+}
+
+// TestStoreCompactPreservesReplay: compaction drops superseded records but
+// never live ones.
+func TestStoreCompactPreservesReplay(t *testing.T) {
+	var runs atomic.Int64
+	grid := []Scenario{{Model: countingModel{Abstract(), &runs}, Algorithm: MustAlgorithm("BEB"), N: 50}}
+	seeds := SequentialSeeds(1, 5)
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	eng := Engine{Store: st}
+	cold := drain(t, eng.Sweep(context.Background(), grid, seeds))
+
+	// Supersede one record manually, then compact.
+	fp, err := grid[0].Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(fp, seeds[0], cold[0].Result); err != nil {
+		t.Fatal(err)
+	}
+	if s := st.Stats(); s.Stale != 1 {
+		t.Fatalf("stats %+v, want 1 stale", s)
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s := st.Stats(); s.Stale != 0 || s.Records != len(seeds) {
+		t.Fatalf("post-compact stats %+v", s)
+	}
+	before := runs.Load()
+	warm := drain(t, eng.Sweep(context.Background(), grid, seeds))
+	if got := runs.Load(); got != before {
+		t.Fatalf("post-compact sweep simulated %d cells, want 0", got-before)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("post-compact cells differ")
+	}
+}

@@ -75,6 +75,10 @@ type SeedFunc func(si, ti int) uint64
 // Scenarios carrying WithTrace are rejected per cell: cells run
 // concurrently, and interleaving many runs into one recorder would race.
 // Trace single runs with Engine.Run.
+//
+// With a Store attached to the engine, each cell is first looked up by
+// (Scenario.Fingerprint, seed) and replayed from the log on a hit; see
+// Engine.Store. Order and cell values are identical either way.
 func (e *Engine) Sweep(ctx context.Context, scenarios []Scenario, seeds []uint64) <-chan Cell {
 	return e.SweepSeeded(ctx, scenarios, len(seeds), func(_, ti int) uint64 { return seeds[ti] })
 }
@@ -95,6 +99,10 @@ func (e *Engine) SweepSeeded(ctx context.Context, scenarios []Scenario, trials i
 		slots[i] = make(chan Cell, 1)
 	}
 
+	// With a store attached, fingerprint each scenario once up front — the
+	// address is seed-independent, so all of a scenario's cells share it.
+	fps := e.fingerprints(scenarios)
+
 	// Workers fill slots in whatever order the pool schedules.
 	go func() {
 		harness.ForEach(e.Workers, cells, func(i int) {
@@ -105,7 +113,7 @@ func (e *Engine) SweepSeeded(ctx context.Context, scenarios []Scenario, trials i
 			} else if err := rejectTracer(scenarios[si]); err != nil {
 				c.Err = err
 			} else {
-				c.Result, c.Err = e.Run(ctx, scenarios[si].WithOptions(WithSeed(c.Seed)))
+				c.Result, c.Err = e.runCell(ctx, scenarios[si], c.Seed, fps[si])
 			}
 			slots[i] <- c
 		})
@@ -130,6 +138,33 @@ func (e *Engine) SweepSeeded(ctx context.Context, scenarios []Scenario, trials i
 	return out
 }
 
+// fingerprints computes each scenario's content address for the store. An
+// unfingerprintable scenario — or every scenario, when no store is attached
+// — gets the empty address, which runCell treats as "execute uncached".
+func (e *Engine) fingerprints(scenarios []Scenario) []string {
+	fps := make([]string, len(scenarios))
+	if e.Store == nil {
+		return fps
+	}
+	for i, s := range scenarios {
+		fps[i], _ = s.Fingerprint()
+	}
+	return fps
+}
+
+// runCell executes one grid cell — the scenario reseeded with its grid
+// seed. With a store attached and a valid fingerprint, the cell is served
+// through the store: replayed on a hit, simulated and written through on a
+// miss, deduplicated against identical in-flight cells. Replayed cells are
+// bit-identical to simulated ones, so callers cannot tell the difference.
+func (e *Engine) runCell(ctx context.Context, s Scenario, seed uint64, fp string) (Result, error) {
+	run := func() (Result, error) { return e.Run(ctx, s.WithOptions(WithSeed(seed))) }
+	if e.Store == nil || fp == "" {
+		return run()
+	}
+	return e.Store.do(fp, seed, run)
+}
+
 // rejectTracer refuses scenarios that would feed a shared trace.Recorder
 // from concurrent workers; the Recorder is an unsynchronized append and a
 // merged multi-run timeline would be meaningless anyway.
@@ -145,15 +180,18 @@ func rejectTracer(s Scenario) error {
 // The returned error is the first (lowest-index) scenario error, if any;
 // results of successful scenarios are valid either way. A cancelled context
 // makes unstarted scenarios fail with ctx.Err(). Like Sweep, RunMany
-// rejects scenarios carrying WithTrace.
+// rejects scenarios carrying WithTrace, and like Sweep it serves scenarios
+// from the engine's Store when one is attached (the seed resolved from the
+// scenario's own Options keys the record).
 func (e *Engine) RunMany(ctx context.Context, scenarios []Scenario) ([]Result, error) {
 	results := make([]Result, len(scenarios))
 	errs := make([]error, len(scenarios))
+	fps := e.fingerprints(scenarios)
 	harness.ForEach(e.Workers, len(scenarios), func(i int) {
 		if errs[i] = rejectTracer(scenarios[i]); errs[i] != nil {
 			return
 		}
-		results[i], errs[i] = e.Run(ctx, scenarios[i])
+		results[i], errs[i] = e.runCell(ctx, scenarios[i], buildOptions(scenarios[i].Options).seed, fps[i])
 	})
 	for _, err := range errs {
 		if err != nil {
