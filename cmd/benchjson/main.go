@@ -1,0 +1,192 @@
+// Command benchjson regenerates the committed benchmark baselines
+// (BENCH_*.json): it runs a set of benchmarks through `go test -bench`,
+// parses the standard output format, aggregates repeated runs by median,
+// and writes one machine-readable JSON file. Committing the output gives
+// the repo a perf trajectory — every optimization PR regenerates the file
+// and the diff IS the claimed speedup.
+//
+//	go run ./cmd/benchjson -o BENCH_baseline.json
+//	go run ./cmd/benchjson -bench 'BenchmarkFig0[34]' -count 3 -o BENCH_figs.json
+//
+// Medians are taken per metric across -count runs, so one descheduled run
+// doesn't skew the committed number. No timestamp is embedded; git
+// history dates the baseline, and keeping the file a pure function of the
+// benchmark output makes diffs reviewable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark line.
+type sample struct {
+	iters   int64
+	metrics map[string]float64 // unit -> value (ns/op, B/op, allocs/op, ...)
+}
+
+// Result is the committed aggregate for one benchmark.
+type Result struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Samples     int                `json:"samples"`
+}
+
+// File is the schema of a BENCH_*.json artifact.
+type File struct {
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Bench      string            `json:"bench"`
+	Count      int               `json:"count"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	bench := flag.String("bench", "^BenchmarkSweep(Serial|Parallel|Cached)$",
+		"benchmark regex passed to go test -bench")
+	count := flag.Int("count", 5, "runs per benchmark; the committed value is the median")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	out := flag.String("o", "", "output file (default stdout)")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (default the go tool's)")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	samples := parse(string(raw))
+	if len(samples) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines in go test output:\n%s", raw)
+		os.Exit(1)
+	}
+
+	file := File{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench:      *bench,
+		Count:      *count,
+		Benchmarks: aggregate(samples),
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		fmt.Printf("%s", data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(file.Benchmarks), *out)
+}
+
+// parse extracts benchmark result lines from go test output. A line looks
+// like:
+//
+//	BenchmarkSweepSerial-8  12  95131234 ns/op  1234 B/op  56 allocs/op  8.000 gomaxprocs
+func parse(out string) map[string][]sample {
+	samples := make(map[string][]sample)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the -GOMAXPROCS suffix the testing package appends.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		s := sample{iters: iters, metrics: make(map[string]float64)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			s.metrics[fields[i+1]] = v
+		}
+		samples[name] = append(samples[name], s)
+	}
+	return samples
+}
+
+// aggregate folds repeated runs into per-metric medians.
+func aggregate(samples map[string][]sample) map[string]Result {
+	out := make(map[string]Result, len(samples))
+	// encoding/json sorts map keys on marshal, but build deterministically
+	// anyway so any future non-map serialization stays stable.
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		runs := samples[name]
+		units := make(map[string][]float64)
+		for _, s := range runs {
+			for unit, v := range s.metrics {
+				units[unit] = append(units[unit], v)
+			}
+		}
+		r := Result{Samples: len(runs)}
+		for unit, vals := range units {
+			m := median(vals)
+			switch unit {
+			case "ns/op":
+				r.NsPerOp = m
+			case "B/op":
+				r.BPerOp = m
+			case "allocs/op":
+				r.AllocsPerOp = m
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = m
+			}
+		}
+		out[name] = r
+	}
+	return out
+}
+
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}

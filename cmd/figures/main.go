@@ -31,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -107,7 +108,9 @@ func main() {
 			if s.WriteErr != nil {
 				fmt.Fprintf(os.Stderr, "figures: cache write error (results served, resume impaired): %v\n", s.WriteErr)
 			}
-			store.Close()
+			if err := store.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: cache close (results already reported, resume impaired): %v\n", err)
+			}
 		}
 		os.Exit(code)
 	}
@@ -170,17 +173,11 @@ func main() {
 		}
 		fmt.Println(render)
 		if *out != "" {
-			f, err := os.Create(filepath.Join(*out, "fig13.csv"))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			path := filepath.Join(*out, "fig13.csv")
+			if err := writeCSV(path, rec.WriteCSV); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: write %s: %v\n", path, err)
 				exit(1)
 			}
-			if err := rec.WriteCSV(f); err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				f.Close()
-				exit(1)
-			}
-			f.Close()
 		}
 	}
 
@@ -207,20 +204,28 @@ func main() {
 		fmt.Printf("(%s regenerated in %v)\n\n", g.ID, elapsed)
 		if *out != "" {
 			path := filepath.Join(*out, g.ID+".csv")
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				exit(1)
-			}
-			if err := tab.WriteCSV(f); err != nil {
+			if err := writeCSV(path, tab.WriteCSV); err != nil {
 				fmt.Fprintf(os.Stderr, "figures: write %s: %v\n", path, err)
-				f.Close()
 				exit(1)
 			}
-			f.Close()
 		}
 	}
 	exit(0)
+}
+
+// writeCSV writes one CSV artifact, surfacing create, write, and close
+// errors alike — a dropped close can lose the final flush, leaving a
+// truncated file that looks like a complete figure.
+func writeCSV(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
 }
 
 func printList() {

@@ -1,0 +1,268 @@
+// Command replint runs the determinism lint suite (repro/internal/lint)
+// in two modes.
+//
+// Standalone, over module packages (patterns like the go tool's):
+//
+//	replint ./...
+//	replint -nodeterm.pkgs=internal/mac ./internal/mac
+//
+// And as a vet tool, speaking the go command's (unpublished) vet
+// command-line protocol so the suite composes with the build cache and
+// per-package type information that `go vet` provides:
+//
+//	go vet -vettool=$(pwd)/bin/replint ./...
+//
+// In both modes diagnostics go to stderr as file:line:col: message and a
+// non-zero exit signals findings. Analyzer flags are exposed as
+// -<analyzer>.<flag> (e.g. -seedlint.exempt).
+//
+// The vet protocol, reconstructed from cmd/go/internal/work/exec.go: the
+// go command invokes the tool once per package with a JSON config file
+// argument (*.cfg) describing sources and the export data of every
+// dependency; `-V=full` must print a version handshake; `-flags` must
+// describe the tool's flags as JSON so `go vet` can validate its command
+// line. Type-checking resolves imports through the config's ImportMap and
+// PackageFile tables with the gc export-data importer.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("replint", flag.ContinueOnError)
+	versionFlag := fs.String("V", "", "print version and exit (go vet handshake)")
+	flagsFlag := fs.Bool("flags", false, "print flag descriptions as JSON and exit (go vet handshake)")
+	analyzers := lint.All()
+	for _, a := range analyzers {
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			fs.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *versionFlag != "":
+		// The go command requires "<name> version <non-devel>"; the exact
+		// version string only needs to be stable for build caching.
+		fmt.Printf("replint version v1.0.0\n")
+		return 0
+	case *flagsFlag:
+		return printFlags(fs)
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetMode(rest[0], analyzers)
+	}
+	return standaloneMode(rest, analyzers)
+}
+
+// printFlags emits the tool's flags in the JSON shape go vet expects
+// ({Name, Bool, Usage} objects).
+func printFlags(fs *flag.FlagSet) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		out = append(out, jsonFlag{Name: f.Name, Bool: ok && b.IsBoolFlag(), Usage: f.Usage})
+	})
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("%s\n", data)
+	return 0
+}
+
+// vetConfig is the package description the go command writes for vet
+// tools (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetMode analyzes the single package described by a vet config file.
+func vetMode(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "replint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Facts files: this suite shares nothing across packages, so an
+	// empty output satisfies the protocol (and lets go cache the run).
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only run: go wants facts, we produce none.
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the go command's tables: source import
+	// path -> canonical path (ImportMap) -> export data file
+	// (PackageFile), read by the gc importer.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tconf := types.Config{
+		Importer: importer.ForCompiler(fset, compiler, lookup),
+		Sizes:    types.SizesFor(compiler, os.Getenv("GOARCH")),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	diags, err := analysis.RunAnalyzers(analysis.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	writeVetx()
+	if len(diags) == 0 {
+		return 0
+	}
+	printDiags(fset, diags)
+	return 2
+}
+
+// standaloneMode analyzes module packages matched by patterns (default
+// "./...") from the current directory's module.
+func standaloneMode(patterns []string, analyzers []*analysis.Analyzer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	root, err := loader.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	pkgs, err := loader.Module(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	exit := 0
+	for _, p := range pkgs {
+		diags, err := analysis.RunAnalyzers(analysis.Unit{
+			Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, Info: p.Info,
+		}, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replint: %s: %v\n", p.Path, err)
+			return 1
+		}
+		if len(diags) > 0 {
+			printDiags(p.Fset, diags)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// printDiags writes diagnostics to stderr, one per line, with paths
+// relative to the working directory when possible.
+func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", name, pos.Line, pos.Column, d.Message)
+	}
+}

@@ -71,8 +71,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		if err := rec.WriteCSV(f); err != nil {
+			_ = f.Close() // the write error is the one worth reporting
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		// Close errors matter here: the file IS the command's output.
+		if err := f.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,151 @@
+// Package analysistest runs a lint analyzer over fixture packages and
+// checks its diagnostics against // want comments — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the repo's
+// self-contained loader so fixture tests need no external modules.
+//
+// Fixture layout mirrors the original: <testdata>/src/<pkg>/... where
+// <pkg> is both the directory and the import path (fixtures may import
+// each other by those paths). Expectations are trailing comments:
+//
+//	time.Now() // want "wall-clock"
+//	x := a     // want "first" "second"
+//
+// Each quoted string is a regular expression that must match one
+// diagnostic reported on that line; diagnostics with no matching
+// expectation, and expectations with no matching diagnostic, fail the
+// test. A fixture line carrying //replint:allow demonstrates suppression:
+// the diagnostic must NOT appear (so it needs no want).
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// expectation is one // want entry: a compiled pattern at a line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRE matches the quoted patterns of a want comment: double-quoted
+// (backslash escapes allowed) or backtick-quoted (taken literally).
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+// Run loads each fixture package under testdata/src, applies the
+// analyzer through the shared driver (test-file filtering and
+// //replint:allow suppression included), and diffs diagnostics against
+// the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loaded, err := loader.Fixtures(filepath.Join(testdata, "src"), pkgs...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", pkgs, err)
+	}
+	for _, p := range loaded {
+		diags, err := analysis.RunAnalyzers(analysis.Unit{
+			Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, Info: p.Info,
+		}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: running %s: %v", p.Path, a.Name, err)
+		}
+
+		wants := collectWants(t, p)
+		for _, d := range diags {
+			pos := p.Fset.Position(d.Pos)
+			if w := match(wants, pos.Filename, pos.Line, d.Message); w == nil {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+// match marks and returns the first unmatched expectation at (file,
+// line) whose pattern matches msg.
+func match(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants scans a package's comments for want expectations.
+func collectWants(t *testing.T, p *loader.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SetFlag sets an analyzer flag for the duration of the test.
+func SetFlag(t *testing.T, a *analysis.Analyzer, name, value string) {
+	t.Helper()
+	f := a.Flags.Lookup(name)
+	if f == nil {
+		t.Fatalf("%s has no flag %q", a.Name, name)
+	}
+	old := f.Value.String()
+	if err := f.Value.Set(value); err != nil {
+		t.Fatalf("setting %s.%s=%q: %v", a.Name, name, value, err)
+	}
+	t.Cleanup(func() {
+		if err := f.Value.Set(old); err != nil {
+			panic(fmt.Sprintf("restoring %s.%s=%q: %v", a.Name, name, old, err))
+		}
+	})
+}

@@ -1,0 +1,311 @@
+// Package loader type-checks packages for the lint suite without
+// golang.org/x/tools/go/packages: module packages and analysistest
+// fixtures are parsed and checked from source, and imports outside those
+// roots (the standard library) resolve through the compiler-independent
+// source importer (go/importer "source"), which also needs nothing but
+// $GOROOT/src. Everything works offline — no module proxy, no export
+// data, no go list subprocess — which is what lets the determinism suite
+// run in the same hermetic environment as the simulations it guards.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path ("repro/internal/mac", or the
+	// fixture-relative path like "nodeterm").
+	Path string
+	// Fset positions Files; it is shared by every package of one load.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, comments included.
+	Files []*ast.File
+	// Pkg and Info are the go/types results for Files.
+	Pkg  *types.Package
+	Info *types.Info
+}
+
+// resolver loads packages recursively: roots first (module or fixture
+// directories, checked from source with full syntax kept), then the
+// source importer for everything else.
+type resolver struct {
+	fset *token.FileSet
+	// prefix -> dir: import paths under prefix map into dir. The module
+	// root uses its module path; a fixture root uses the empty prefix
+	// (every fixture path is root-relative, GOPATH-style).
+	prefix  string
+	dir     string
+	std     types.Importer
+	memo    map[string]*Package
+	loading map[string]bool
+}
+
+func newResolver(prefix, dir string) *resolver {
+	fset := token.NewFileSet()
+	return &resolver{
+		fset:    fset,
+		prefix:  prefix,
+		dir:     dir,
+		std:     importer.ForCompiler(fset, "source", nil),
+		memo:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// resolveDir maps an import path into a root directory, or reports that
+// the path is foreign (standard library / out of tree).
+func (r *resolver) resolveDir(path string) (string, bool) {
+	switch {
+	case r.prefix == "":
+		d := filepath.Join(r.dir, filepath.FromSlash(path))
+		if fi, err := os.Stat(d); err == nil && fi.IsDir() {
+			return d, true
+		}
+		return "", false
+	case path == r.prefix:
+		return r.dir, true
+	case strings.HasPrefix(path, r.prefix+"/"):
+		return filepath.Join(r.dir, filepath.FromSlash(path[len(r.prefix)+1:])), true
+	}
+	return "", false
+}
+
+// Import implements types.Importer for the checker's dependency loads.
+func (r *resolver) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := r.resolveDir(path); ok {
+		p, err := r.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return r.std.Import(path)
+}
+
+// load parses and type-checks the package at path (which must resolve
+// into the root), memoized.
+func (r *resolver) load(path string) (*Package, error) {
+	if p, ok := r.memo[path]; ok {
+		return p, nil
+	}
+	if r.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %q", path)
+	}
+	r.loading[path] = true
+	defer delete(r.loading, path)
+
+	dir, ok := r.resolveDir(path)
+	if !ok {
+		return nil, fmt.Errorf("loader: %q does not resolve under %s", path, r.dir)
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(r.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: r,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, err := conf.Check(path, r.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Fset: r.fset, Files: files, Pkg: pkg, Info: info}
+	r.memo[path] = p
+	return p, nil
+}
+
+// Module loads packages of the Go module rooted at dir (the directory
+// holding go.mod). Patterns are a pragmatic subset of the go tool's:
+// "./..." for the whole module, "./sub/..." for a subtree, "./sub" or a
+// full import path for one package. Test files are not loaded; the lint
+// suite checks non-test invariants.
+func Module(dir string, patterns ...string) ([]*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	r := newResolver(modPath, dir)
+
+	var paths []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := walkGoDirs(dir)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(dirToImport(modPath, dir, d))
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(dir, filepath.FromSlash(strings.TrimPrefix(strings.TrimSuffix(pat, "/..."), "./")))
+			dirs, err := walkGoDirs(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(dirToImport(modPath, dir, d))
+			}
+		case strings.HasPrefix(pat, "./"), pat == ".":
+			add(dirToImport(modPath, dir, filepath.Join(dir, filepath.FromSlash(strings.TrimPrefix(pat, "./")))))
+		default:
+			add(pat)
+		}
+	}
+
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		lp, err := r.load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// Fixtures loads analysistest-style fixture packages: root is a
+// testdata/src directory, and each path is a package directory under it,
+// doubling as its import path (fixtures import each other that way).
+func Fixtures(root string, paths ...string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	r := newResolver("", root)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		lp, err := r.load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("loader: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module path from a go.mod file; a full parser is
+// unnecessary for the one well-formed file this repo carries.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("loader: %s has no module directive", gomod)
+}
+
+// walkGoDirs returns every directory under root holding at least one
+// non-test .go file, skipping testdata, vendor, and hidden directories.
+func walkGoDirs(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "node_modules") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, "_") {
+				out = append(out, path)
+				break
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// dirToImport converts an absolute package directory into its module
+// import path.
+func dirToImport(modPath, modRoot, dir string) string {
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}

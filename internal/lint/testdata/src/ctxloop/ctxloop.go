@@ -1,0 +1,71 @@
+// Fixture: ctxloop — unbounded loops that ignore an in-scope context.
+package ctxloop
+
+import "context"
+
+func spins(ctx context.Context, ch chan int) {
+	for { // want "never observes"
+		ch <- 1
+	}
+}
+
+func selects(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ch <- 1:
+		}
+	}
+}
+
+func polls(ctx context.Context, ch chan int) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		ch <- 1
+	}
+}
+
+// No context in scope: the loop is bounded by its data by construction
+// and has no cancellation signal to honor.
+func drains(ch chan int) int {
+	total := 0
+	for {
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// Closures capture the enclosing context and are held to the same rule.
+func launches(ctx context.Context, ch chan int) func() {
+	return func() {
+		for { // want "never observes"
+			ch <- 1
+		}
+	}
+}
+
+// A locally constructed context counts as in scope once assigned.
+func local(parent context.Context, ch chan int) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	for { // want "never observes"
+		ch <- 1
+	}
+	_ = ctx
+}
+
+// Bounded loops (with a condition) are out of scope even when they never
+// check the context; they terminate on their own.
+func bounded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,32 @@
+// Fixture: fpguard — an encoder that forgets fields. Scenario.Extra is
+// never read anywhere in the encoder closure; knobs.Config.Gain is only
+// WRITTEN (materialized), which must not count as consultation. Model is
+// read through a helper, proving the closure walk, and N directly.
+package fpguard
+
+import (
+	"strconv"
+
+	"fpguard/knobs"
+)
+
+type Scenario struct {
+	Model string
+	N     int
+	Extra float64
+}
+
+func Fingerprint(s *Scenario, k *knobs.Config) string { // want "Scenario.Extra" "knobs.Config.Gain"
+	materialize(k)
+	return model(s) + strconv.Itoa(s.N) + strconv.Itoa(k.Level)
+}
+
+// model consults Model on Fingerprint's behalf.
+func model(s *Scenario) string {
+	return s.Model
+}
+
+// materialize writes Gain without reading it — not a consultation.
+func materialize(k *knobs.Config) {
+	k.Gain = 1.0
+}

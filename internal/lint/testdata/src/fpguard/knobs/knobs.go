@@ -1,0 +1,8 @@
+// Fixture dependency: a config struct imported by the fpguard fixture,
+// mirroring how mac.Config/phy.Config are imported by the real encoder.
+package knobs
+
+type Config struct {
+	Level int
+	Gain  float64
+}

@@ -1,0 +1,25 @@
+// Fixture: fpguard negative — every field is consulted, directly or via a
+// helper, so the analyzer stays silent.
+package ok
+
+import (
+	"strconv"
+
+	"fpguard/knobs"
+)
+
+type Scenario struct {
+	Model string
+	N     int
+	Extra float64
+}
+
+func Fingerprint(s *Scenario, k *knobs.Config) string {
+	out := s.Model + strconv.Itoa(s.N)
+	out += strconv.FormatFloat(s.Extra, 'g', -1, 64)
+	return out + encodeKnobs(k)
+}
+
+func encodeKnobs(k *knobs.Config) string {
+	return strconv.Itoa(k.Level) + strconv.FormatFloat(k.Gain, 'g', -1, 64)
+}

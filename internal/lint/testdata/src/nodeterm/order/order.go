@@ -1,0 +1,72 @@
+// Fixture: nodeterm check 2 — map iteration order escaping into ordered
+// output. This check applies in every package, not just simulation ones.
+package order
+
+import (
+	"fmt"
+	"sort"
+)
+
+func sends(m map[string]int, ch chan string) {
+	for k := range m { // want "channel send"
+		ch <- k
+	}
+}
+
+func concats(m map[string]int) string {
+	var s string
+	for k := range m { // want "string concatenation"
+		s += k
+	}
+	return s
+}
+
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "float accumulation"
+		total += v
+	}
+	return total
+}
+
+func prints(m map[string]int) {
+	for k, v := range m { // want `fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Collect-then-sort is the sanctioned idiom.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Integer accumulation is order-insensitive.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Set building carries no order at all.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+// Fixture: nodeterm check 1 — nondeterminism sources inside a package the
+// -nodeterm.pkgs flag names as a simulation package.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()                   // want "wall-clock"
+	for time.Since(t) < time.Second { // want "wall-clock"
+	}
+	return t.UnixNano()
+}
+
+func globalRand() int {
+	return rand.Intn(16) // want `rand\.Intn`
+}
+
+func env() string {
+	if v, ok := os.LookupEnv("SIM_DEBUG"); ok { // want "environment read"
+		return v
+	}
+	return os.Getenv("HOME") // want "environment read"
+}
+
+// durations and other time package values are fine; only the wall clock
+// is banned.
+func okDuration(d time.Duration) time.Duration {
+	return d * 2
+}
+
+func okSuppressed() int64 {
+	//replint:allow nodeterm — fixture demonstrates sanctioned suppression
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,41 @@
+// Fixture: seedlint — raw arithmetic on seed-named values.
+package seedlint
+
+func ladder(seed uint64, trial int) uint64 {
+	return seed + uint64(trial) // want "raw arithmetic"
+}
+
+func scaled(baseSeed uint64) uint64 {
+	baseSeed *= 31 // want "raw arithmetic"
+	baseSeed++     // want "incrementing"
+	return baseSeed
+}
+
+type options struct {
+	LossSeed uint64
+}
+
+func fromField(o options) uint64 {
+	return o.LossSeed ^ 0xdead // want "raw arithmetic"
+}
+
+func fromCall(trial uint64) uint64 {
+	return nextSeed() + trial // want "raw arithmetic"
+}
+
+func nextSeed() uint64 { return 1 }
+
+// Comparisons don't mint new seed values.
+func compare(seed, other uint64) bool {
+	return seed == other || seed > other
+}
+
+// Non-numeric "seed" names are out of scope.
+func label(seedName string) string {
+	return seedName + "-suffix"
+}
+
+func sanctioned(seed uint64) uint64 {
+	//replint:allow seedlint — fixture demonstrates sanctioned suppression
+	return seed + 1
+}

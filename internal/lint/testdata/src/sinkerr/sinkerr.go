@@ -1,0 +1,55 @@
+// Fixture: sinkerr — discarded errors on result-bearing sinks.
+package sinkerr
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+type File struct{}
+
+func (File) Write(p []byte) (int, error) { return len(p), nil }
+func (File) Close() error                { return nil }
+
+type Store struct{}
+
+func (Store) Put(key string) error { return nil }
+
+func drops(f File, s Store) {
+	f.Write(nil)    // want "Write"
+	f.Close()       // want "Close"
+	s.Put("cell")   // want "Put"
+	defer f.Close() // want "discarded by defer"
+	go f.Close()    // want "discarded by go"
+}
+
+func handles(f File, s Store) error {
+	if err := s.Put("cell"); err != nil {
+		return err
+	}
+	_ = f.Close() // explicit discard is the sanctioned form
+	return f.Close()
+}
+
+// strings.Builder and hash writes are documented never to fail.
+func vacuous() uint64 {
+	var b strings.Builder
+	b.WriteString("layout:")
+	h := fnv.New64a()
+	h.Write([]byte(b.String()))
+	return h.Sum64()
+}
+
+type latch struct{}
+
+// Close without an error result has nothing to drop.
+func (latch) Close() {}
+
+func closesLatch(l latch) {
+	l.Close()
+}
+
+func sanctioned(f File) {
+	//replint:allow sinkerr — fixture demonstrates sanctioned suppression
+	f.Close()
+}

@@ -11,6 +11,7 @@ package store
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -85,7 +86,7 @@ func Open(path string) (*Log, error) {
 	}
 	l := &Log{path: path, f: f, index: make(map[Key]span)}
 	if err := l.load(); err != nil {
-		f.Close()
+		_ = f.Close() // the load error is the one worth reporting
 		return nil, err
 	}
 	return l, nil
@@ -247,7 +248,7 @@ func (l *Log) Compact() error {
 		return err
 	}
 	fail := func(err error) error {
-		tmp.Close()
+		_ = tmp.Close() // cleanup of an already-failed compaction
 		os.Remove(tmpPath)
 		return err
 	}
@@ -276,7 +277,8 @@ func (l *Log) Compact() error {
 	if err := os.Rename(tmpPath, l.path); err != nil {
 		return fail(err)
 	}
-	l.f.Close()
+	// The replaced handle's close error cannot affect the committed data.
+	_ = l.f.Close()
 	l.f = tmp
 	l.index = newIndex
 	l.end = off
@@ -296,9 +298,5 @@ func (l *Log) Sync() error {
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.f.Sync(); err != nil {
-		l.f.Close()
-		return err
-	}
-	return l.f.Close()
+	return errors.Join(l.f.Sync(), l.f.Close())
 }

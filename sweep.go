@@ -42,13 +42,15 @@ func Seeds(base uint64, n int) []uint64 {
 	return out
 }
 
-// SequentialSeeds returns start, start+1, ..., start+n-1: the seed ladder
+// SequentialSeeds returns seed, seed+1, ..., seed+n-1: the seed ladder
 // the legacy per-trial loops used (WithSeed(seed + trial)), for byte-exact
-// migrations of existing experiments.
-func SequentialSeeds(start uint64, n int) []uint64 {
+// migrations of existing experiments. New code should prefer Seeds, whose
+// hashed derivation keeps ladders from different bases disjoint.
+func SequentialSeeds(seed uint64, n int) []uint64 {
 	out := make([]uint64, n)
 	for i := range out {
-		out[i] = start + uint64(i)
+		//replint:allow seedlint — the sanctioned legacy ladder: consecutive seeds ARE its contract
+		out[i] = seed + uint64(i)
 	}
 	return out
 }
