@@ -8,6 +8,16 @@
 //	go run ./cmd/benchjson -o BENCH_baseline.json
 //	go run ./cmd/benchjson -bench 'BenchmarkFig0[34]' -count 3 -o BENCH_figs.json
 //
+// With -check, instead of writing a file the tool compares the fresh run
+// against a committed baseline and fails if any shared benchmark's
+// allocs/op regressed by more than 2x:
+//
+//	go run ./cmd/benchjson -count 1 -benchtime 1x -check BENCH_baseline.json
+//
+// allocs/op is the comparison metric because it is a deterministic property
+// of the code path — unlike ns/op it does not depend on the CI machine, so
+// the gate works with -benchtime 1x and never flakes on a noisy runner.
+//
 // Medians are taken per metric across -count runs, so one descheduled run
 // doesn't skew the committed number. No timestamp is embedded; git
 // history dates the baseline, and keeping the file a pure function of the
@@ -59,6 +69,8 @@ func main() {
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	out := flag.String("o", "", "output file (default stdout)")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (default the go tool's)")
+	check := flag.String("check", "",
+		"baseline file to compare against instead of writing output; fails on >2x allocs/op regression")
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
@@ -90,6 +102,9 @@ func main() {
 		Count:      *count,
 		Benchmarks: aggregate(samples),
 	}
+	if *check != "" {
+		os.Exit(checkBaseline(*check, file.Benchmarks))
+	}
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -105,6 +120,72 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(file.Benchmarks), *out)
+}
+
+// allocRegressionFactor is the -check failure threshold: a benchmark fails
+// the gate when its allocs/op exceeds the baseline by more than this factor.
+// Generous on purpose — the gate exists to catch reintroduced per-event
+// allocations (which move the counter by orders of magnitude), not to veto
+// ordinary code growth.
+const allocRegressionFactor = 2.0
+
+// checkBaseline compares fresh results against a committed baseline file and
+// returns the process exit code. Benchmarks present on only one side are
+// reported but do not fail the gate (the baseline regenerator, not CI,
+// decides the benchmark set).
+func checkBaseline(path string, fresh map[string]Result) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", path, err)
+		return 1
+	}
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		got := fresh[name]
+		want, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("benchjson: %s: not in baseline, skipping\n", name)
+			continue
+		}
+		if want.AllocsPerOp <= 0 {
+			fmt.Printf("benchjson: %s: baseline has no allocs/op, skipping\n", name)
+			continue
+		}
+		ratio := got.AllocsPerOp / want.AllocsPerOp
+		status := "ok"
+		if ratio > allocRegressionFactor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchjson: %s: allocs/op %.0f vs baseline %.0f (%.2fx) %s\n",
+			name, got.AllocsPerOp, want.AllocsPerOp, ratio, status)
+	}
+	baseNames := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		baseNames = append(baseNames, name)
+	}
+	sort.Strings(baseNames)
+	for _, name := range baseNames {
+		if _, ok := fresh[name]; !ok {
+			fmt.Printf("benchjson: %s: in baseline but not run\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: allocs/op regressed more than %.0fx vs %s\n",
+			allocRegressionFactor, path)
+		return 1
+	}
+	return 0
 }
 
 // parse extracts benchmark result lines from go test output. A line looks

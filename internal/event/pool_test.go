@@ -1,0 +1,314 @@
+package event
+
+// Tests for the kernel's performance contracts: the event free list, eager
+// cancellation, the closure-free ScheduleArg path, DeferAll, and the
+// four-ary heap — including the differential ordering check and the
+// binary-heap comparison benchmark that justified the queue choice
+// (DESIGN.md "Event kernel performance model").
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// TestFireRecyclesEvent pins the free-list contract: after an event fires,
+// the scheduler owns its object again — the next Schedule reuses it and no
+// handler or payload reference survives on it.
+func TestFireRecyclesEvent(t *testing.T) {
+	var s Scheduler
+	e1 := s.Schedule(1, func(Time) {})
+	s.Run(0)
+	if e1.fn != nil || e1.afn != nil || e1.arg != nil || e1.comment != "" {
+		t.Fatalf("fired event still pins handler state: %+v", e1)
+	}
+	e2 := s.Schedule(1, func(Time) {})
+	if e1 != e2 {
+		t.Fatal("second Schedule after a fire did not reuse the recycled event")
+	}
+}
+
+// TestCancelIsEagerAndDropsHandler pins the Cancel bugfix: cancellation
+// removes the event from the queue immediately (Pending is exact) and nils
+// the handler, so whatever the closure captured becomes collectable right
+// away instead of being pinned until a lazy drain.
+func TestCancelIsEagerAndDropsHandler(t *testing.T) {
+	var s Scheduler
+	payload := make([]byte, 1<<20)
+	e := s.Schedule(10, func(Time) { _ = payload[0] })
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d before cancel", s.Pending())
+	}
+	s.Cancel(e)
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after cancel, want 0 (eager removal)", s.Pending())
+	}
+	if e.fn != nil || e.afn != nil || e.arg != nil {
+		t.Fatal("cancelled event still references its handler/payload")
+	}
+	// The cancelled object is back on the free list: the next Schedule
+	// reuses it, and the run fires only that one.
+	fired := 0
+	if e2 := s.Schedule(1, func(Time) { fired++ }); e2 != e {
+		t.Fatal("cancelled event was not recycled")
+	}
+	s.Run(0)
+	if fired != 1 || s.Fired() != 1 {
+		t.Fatalf("fired=%d Fired()=%d, want 1/1", fired, s.Fired())
+	}
+}
+
+func TestScheduleArgDeliversPayload(t *testing.T) {
+	var s Scheduler
+	type box struct{ hits int }
+	b := &box{}
+	h := func(now Time, arg any) {
+		if now != 5 {
+			t.Errorf("fired at %v, want 5", now)
+		}
+		arg.(*box).hits++
+	}
+	e := s.ScheduleArg("probe", 5, h, b)
+	if e.Arg() != b {
+		t.Fatal("Arg() does not round-trip the payload")
+	}
+	s.Run(0)
+	if b.hits != 1 {
+		t.Fatalf("payload handler ran %d times", b.hits)
+	}
+}
+
+func TestScheduleArgNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil ArgHandler did not panic")
+		}
+	}()
+	var s Scheduler
+	s.ScheduleArg("", 1, nil, 7)
+}
+
+func TestDeferAllShiftsUniformly(t *testing.T) {
+	var s Scheduler
+	var fired []time.Duration
+	record := func(now Time, _ any) { fired = append(fired, now) }
+	var order []int
+	for i, d := range []time.Duration{10, 10, 30, 20} {
+		i := i
+		s.ScheduleArg("", d, func(now Time, arg any) {
+			record(now, arg)
+			order = append(order, i)
+		}, nil)
+	}
+	s.DeferAll(7)
+	s.Run(0)
+	want := []time.Duration{17, 17, 27, 37}
+	for i, w := range want {
+		if fired[i] != w {
+			t.Fatalf("event %d fired at %v, want %v (%v)", i, fired[i], w, fired)
+		}
+	}
+	// FIFO order among the two equal-time events survives the shift.
+	if order[0] != 0 || order[1] != 1 {
+		t.Fatalf("equal-time order after DeferAll: %v", order)
+	}
+}
+
+func TestDeferAllNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative DeferAll did not panic")
+		}
+	}()
+	var s Scheduler
+	s.Schedule(1, func(Time) {})
+	s.DeferAll(-1)
+}
+
+func TestPendingEventsExposesArmedTimers(t *testing.T) {
+	var s Scheduler
+	s.ScheduleArg("a", 3, func(Time, any) {}, "x")
+	s.ScheduleArg("b", 1, func(Time, any) {}, "y")
+	q := s.PendingEvents()
+	if len(q) != 2 {
+		t.Fatalf("PendingEvents len = %d", len(q))
+	}
+	if q[0].Time() != 1 || q[0].Arg() != "y" {
+		t.Fatalf("heap min is %v/%v, want the earliest event", q[0].Time(), q[0].Arg())
+	}
+}
+
+// TestHeapDifferential drives the four-ary heap through random
+// schedule/cancel/fire interleavings and checks the firing sequence
+// against a sorted reference model.
+func TestHeapDifferential(t *testing.T) {
+	root := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		g := root.Derive(string(rune('A' + trial)))
+		var s Scheduler
+		type ref struct {
+			at  time.Duration
+			id  int
+			own *Event
+		}
+		var armed []*ref
+		var want, got []int
+		nextID := 0
+		fire := func(r *ref) func(Time) {
+			return func(Time) { got = append(got, r.id) }
+		}
+		for op := 0; op < 200; op++ {
+			switch k := g.Intn(10); {
+			case k < 6: // schedule
+				r := &ref{at: s.Now() + time.Duration(g.Intn(50)), id: nextID}
+				nextID++
+				r.own = s.Schedule(r.at-s.Now(), fire(r))
+				armed = append(armed, r)
+			case k < 8 && len(armed) > 0: // cancel a random armed event
+				i := g.Intn(len(armed))
+				s.Cancel(armed[i].own)
+				armed = append(armed[:i], armed[i+1:]...)
+			default: // fire one step
+				if s.Step() {
+					// pop the model's min (at, then insertion order — armed
+					// keeps insertion order for equal times).
+					sort.SliceStable(armed, func(a, b int) bool { return armed[a].at < armed[b].at })
+					want = append(want, armed[0].id)
+					armed = armed[1:]
+				}
+			}
+		}
+		s.Run(0)
+		sort.SliceStable(armed, func(a, b int) bool { return armed[a].at < armed[b].at })
+		for _, r := range armed {
+			want = append(want, r.id)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d events, model %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: firing order diverged at %d: got %v want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSteadyStateScheduleIsAllocationFree is the pooled-kernel acceptance
+// test: once warm, a schedule+fire cycle through ScheduleArg performs zero
+// heap allocations — no Event, no closure, no payload boxing.
+func TestSteadyStateScheduleIsAllocationFree(t *testing.T) {
+	var s Scheduler
+	type st struct{ n int }
+	p := &st{}
+	h := func(now Time, arg any) { arg.(*st).n++ }
+	for i := 0; i < 64; i++ { // warm the pool and the heap capacity
+		s.ScheduleArg("warm", time.Duration(i%8), h, p)
+	}
+	s.Run(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		s.ScheduleArg("hot", 3, h, p)
+		s.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state schedule+fire allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// --- Queue-choice evaluation benchmarks -------------------------------------
+//
+// refBinaryHeap is the pre-optimization binary heap, kept here so the
+// four-ary choice stays re-checkable on new hardware:
+//
+//	go test ./internal/event -run xxx -bench 'BenchmarkHeapKernel' -benchmem
+//
+// The workload mirrors the simulator's: a standing queue of ~depth armed
+// timers (MaxQueueLen tracks the station count) with schedule/fire churn.
+
+type refBinaryHeap []*Event
+
+func (h refBinaryHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *refBinaryHeap) push(e *Event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *refBinaryHeap) popMin() *Event {
+	old := *h
+	e := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old[last] = nil
+	*h = old[:last]
+	i, n := 0, last
+	for {
+		best := i
+		for c := 2*i + 1; c <= 2*i+2 && c < n; c++ {
+			if h.less(c, best) {
+				best = c
+			}
+		}
+		if best == i {
+			break
+		}
+		(*h)[i], (*h)[best] = (*h)[best], (*h)[i]
+		i = best
+	}
+	return e
+}
+
+func benchHeapDepth(b *testing.B, depth int, push func(*Event), pop func() *Event) {
+	g := rng.New(5)
+	events := make([]*Event, depth)
+	for i := range events {
+		events[i] = &Event{}
+	}
+	var seq uint64
+	for _, e := range events {
+		e.at, e.seq = time.Duration(g.Intn(1000)), seq
+		seq++
+		push(e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := pop()
+		e.at, e.seq = e.at+time.Duration(g.Intn(1000)), seq
+		seq++
+		push(e)
+	}
+}
+
+func BenchmarkHeapKernel4ary(b *testing.B) {
+	for _, depth := range []int{128, 4096, 100_000} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			var h eventHeap
+			benchHeapDepth(b, depth, func(e *Event) { h.push(e) }, h.popMin)
+		})
+	}
+}
+
+func BenchmarkHeapKernelBinary(b *testing.B) {
+	for _, depth := range []int{128, 4096, 100_000} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			var h refBinaryHeap
+			benchHeapDepth(b, depth, func(e *Event) { h.push(e) }, h.popMin)
+		})
+	}
+}

@@ -15,9 +15,15 @@ type accessPoint struct {
 	sim  *sim
 	node *phy.Node
 
-	// busyUntil prevents scheduling two overlapping responses; on the
+	// respPending prevents scheduling two overlapping responses; on the
 	// paper's topology this never triggers, but it guards the invariant.
+	// While set, respKind/respBytes/respDst describe the queued response —
+	// stored here rather than captured in a per-response closure so the
+	// SIFS timer schedules allocation-free.
 	respPending bool
+	respKind    FrameKind
+	respBytes   int
+	respDst     int
 
 	// failed collects the intervals of access frames that did not decode,
 	// for disjoint-collision counting by interval merge.
@@ -75,14 +81,21 @@ func (ap *accessPoint) respond(kind FrameKind, bytes, dst int) {
 		return
 	}
 	ap.respPending = true
-	ap.sim.sched.ScheduleNamed("sifsResp", ap.sim.cfg.SIFS, func(event.Time) {
-		ap.respPending = false
-		tx := ap.sim.medium.Transmit(ap.node, ap.sim.cfg.ControlRate, bytes,
-			Frame{Kind: kind, Src: APIndex, Dst: dst})
-		if ap.sim.tracer != nil {
-			ap.sim.tracer.TxStart(APIndex, kind, time.Duration(tx.Start), time.Duration(tx.End))
-		}
-	})
+	ap.respKind, ap.respBytes, ap.respDst = kind, bytes, dst
+	ap.sim.sched.ScheduleArg("sifsResp", ap.sim.cfg.SIFS, handleApResp, ap)
+}
+
+func handleApResp(now event.Time, arg any) { arg.(*accessPoint).onSifsResp(now) }
+
+// onSifsResp puts the queued ACK/CTS on the air one SIFS after the frame
+// that earned it.
+func (ap *accessPoint) onSifsResp(event.Time) {
+	ap.respPending = false
+	tx := ap.sim.medium.Transmit(ap.node, ap.sim.cfg.ControlRate, ap.respBytes,
+		Frame{Kind: ap.respKind, Src: APIndex, Dst: ap.respDst})
+	if ap.sim.tracer != nil {
+		ap.sim.tracer.TxStart(APIndex, ap.respKind, time.Duration(tx.Start), time.Duration(tx.End))
+	}
 }
 
 // disjointCollisions merges the failed-frame intervals into maximal

@@ -75,6 +75,9 @@ func RunBestOfK(cfg Config, bok BestOfKConfig, n int, g *rng.Source, tracer Trac
 	}
 	m.ap = &accessPoint{sim: m}
 	m.ap.node = medium.AddNode(phy.APPosition(), m.ap)
+	// The contention phase is batch-shaped (all probe-round events have
+	// fired by then), so the idle-slot fast-forward applies.
+	m.allowSlotSkip = !disableSlotSkip
 
 	layout := phy.StationGrid
 	if cfg.Layout != nil {

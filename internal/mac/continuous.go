@@ -59,6 +59,7 @@ func RunContinuous(cfg Config, n int, f backoff.Factory, proc traffic.Process,
 		layout = cfg.Layout
 	}
 	m := newSim(cfg, layout(n), f, g, tracer)
+	m.collectLatencies = true
 
 	// Pre-compute each station's arrival train. The per-station cap bounds
 	// memory under saturation (gap-0 trains) at what the channel could
@@ -70,9 +71,7 @@ func RunContinuous(cfg Config, n int, f backoff.Factory, proc traffic.Process,
 		arrivals := traffic.Arrivals(proc, horizon, perStationCap, ga)
 		offered += len(arrivals)
 		for _, at := range arrivals {
-			at := at
-			st := st
-			m.sched.ScheduleNamed("arrival", at, func(now event.Time) { st.arrive(now) })
+			m.sched.ScheduleArg("arrival", at, handleArrival, st)
 		}
 	}
 

@@ -2,6 +2,7 @@ package mac
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -95,9 +96,100 @@ type sim struct {
 
 	inferredCollisions int
 
-	// latencies collects per-packet queueing+service delays; used by the
-	// continuous-traffic mode, harmless (arrival time 0) in batch runs.
-	latencies []time.Duration
+	// latencies collects per-packet queueing+service delays. Only the
+	// continuous-traffic mode reads it, so only that mode sets
+	// collectLatencies; batch runs used to append one unread entry per
+	// packet, which at 10^5 stations was pure allocation waste.
+	collectLatencies bool
+	latencies        []time.Duration
+
+	// allowSlotSkip arms the idle-slot fast-forward (trySkipSlots) in the
+	// batch modes. Continuous runs leave it off: their pre-scheduled
+	// arrival events would block the trigger anyway, and a skip could
+	// otherwise carry timers past the RunUntil horizon.
+	allowSlotSkip bool
+	// elidedSlots counts slot-countdown events the fast-forward proved
+	// equivalent to arithmetic and never fired; Result.Events adds it back
+	// so the reported event count stays a pure function of the scenario.
+	elidedSlots uint64
+	// skipPhases is trySkipSlots's scratch buffer for armed expiry times.
+	skipPhases []event.Time
+}
+
+// disableSlotSkip turns the fast-forward off for equivalence tests; the
+// optimization's contract is that results are bit-identical either way.
+var disableSlotSkip = false
+
+// trySkipSlots is the idle-slot fast-forward: when the channel is idle and
+// every armed event in the kernel is a backoff slot timer, the simulation
+// is a pure countdown until the smallest counter reaches zero — no RNG
+// draws, no channel activity, nothing to observe. Instead of firing
+// min(counter)-1 rounds of per-station slot events one SlotTime at a time,
+// advance the counters arithmetically and defer every armed timer by the
+// skipped span. The final countdown slot still fires as a real event, so
+// transmission commitment, same-instant collision semantics, and event
+// ordering (a uniform DeferAll preserves both times-relative order and
+// sequence numbers) are untouched: results are bit-identical, which the
+// determinism goldens and TestSlotSkipEquivalence pin.
+//
+// This is what makes n ~ 10^5 batch populations feasible: early in a large
+// batch almost all stations sit in long countdowns, and the per-slot event
+// cost used to scale with n × window instead of with transmissions.
+func (m *sim) trySkipSlots() {
+	if !m.allowSlotSkip || m.backoffCount < 1 || m.medium.ActiveCount() != 0 {
+		return
+	}
+	q := m.sched.PendingEvents()
+	if len(q) != m.backoffCount {
+		return // something other than slot timers is armed
+	}
+	now := m.sched.Now()
+	minCounter := 0
+	for _, e := range q {
+		st, ok := e.Arg().(*station)
+		if !ok || st.state != stateBackoff || st.counter < 1 || e.Time() <= now {
+			// Not a countdown timer, or a timer still due at this very
+			// instant (mid-boundary): wait for the state to settle.
+			return
+		}
+		if minCounter == 0 || st.counter < minCounter {
+			minCounter = st.counter
+		}
+	}
+	skip := minCounter - 1
+	if skip < 1 {
+		return
+	}
+
+	// CWSlots accounting. The skipped countdown instants of station i are
+	// t_i + k*SlotTime (k = 0..skip-1) where t_i is its armed expiry. All
+	// armed expiries lie within one SlotTime of each other, so instants
+	// from two stations coincide iff their expiries are equal — the union
+	// the per-slot slotTick dedup would have counted is therefore
+	// (distinct expiries) × skip, and none of it collides with the last
+	// ticked instant (all lie strictly in the future) or with the
+	// post-skip real ticks (strictly beyond the skipped span).
+	phases := m.skipPhases[:0]
+	for _, e := range q {
+		phases = append(phases, e.Time())
+	}
+	slices.Sort(phases)
+	distinct := 0
+	for i, t := range phases {
+		if i == 0 || t != phases[i-1] {
+			distinct++
+		}
+	}
+	m.skipPhases = phases
+
+	for _, e := range q {
+		st := e.Arg().(*station)
+		st.counter -= skip
+		st.stats.BackoffSlots += skip
+	}
+	m.cwSlotTicks += distinct * skip
+	m.elidedSlots += uint64(skip) * uint64(len(q))
+	m.sched.DeferAll(time.Duration(skip) * m.cfg.SlotTime)
 }
 
 // slotTick counts one global contention-window slot boundary; simultaneous
@@ -131,7 +223,9 @@ func (m *sim) backoffLeave(now event.Time) {
 func (m *sim) packetDelivered(idx int, latency time.Duration, now event.Time) {
 	m.finished++
 	m.lastFinish = time.Duration(now)
-	m.latencies = append(m.latencies, latency)
+	if m.collectLatencies {
+		m.latencies = append(m.latencies, latency)
+	}
 	if m.finished == m.half {
 		m.halfTime = time.Duration(now)
 		m.halfCWSlots = m.cwSlotTicks
@@ -165,6 +259,7 @@ func RunBatchAt(cfg Config, positions []phy.Position, f backoff.Factory, g *rng.
 		panic("mac: RunBatchAt needs at least one station")
 	}
 	m := newSim(cfg, positions, f, g, tracer)
+	m.allowSlotSkip = !disableSlotSkip
 	for _, s := range m.sts {
 		s.begin()
 	}
@@ -219,7 +314,10 @@ func (m *sim) collect(fired uint64) Result {
 		HalfTime:   m.halfTime,
 		CWSlots:    m.cwSlotTicks,
 		BackoffAir: m.backoffAir,
-		Events:     fired,
+		// Events is the logical event count — slot events the fast-forward
+		// elided are added back, so the value is a pure function of the
+		// scenario, not of kernel optimizations.
+		Events: fired + m.elidedSlots,
 	}
 	res.CWSlotsAtHalf = m.halfCWSlots
 	res.Collisions, res.CollisionAir = m.ap.disjointCollisions()
@@ -228,10 +326,25 @@ func (m *sim) collect(fired uint64) Result {
 	for i, s := range m.sts {
 		res.Stations[i] = s.stats
 		res.TotalAckTimeouts += s.stats.AckTimeouts
-		if s.stats.AckTimeouts > res.MaxAckTimeouts {
-			res.MaxAckTimeouts = s.stats.AckTimeouts
-			res.MaxAckTimeoutWait = s.stats.AckTimeoutWait
+	}
+	res.MaxAckTimeouts, res.MaxAckTimeoutWait = maxTimeoutStats(res.Stations)
+	return res
+}
+
+// maxTimeoutStats finds the station with the most ACK timeouts and returns
+// its count and timeout wait (paper Figures 11 and 12). Ties on the count
+// break toward the longer wait — Figure 12 plots the wait of the
+// worst-off station, so among equally-collided stations the one that
+// waited longest is the representative. The tie-break is explicit because
+// the old "strictly more timeouts wins" rule silently kept the
+// lowest-index station's wait, under-reporting ties with longer waits.
+func maxTimeoutStats(stations []StationStats) (count int, wait time.Duration) {
+	for _, s := range stations {
+		if s.AckTimeouts > count ||
+			(s.AckTimeouts == count && s.AckTimeoutWait > wait) {
+			count = s.AckTimeouts
+			wait = s.AckTimeoutWait
 		}
 	}
-	return res
+	return count, wait
 }

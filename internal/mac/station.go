@@ -72,6 +72,17 @@ type StationStats struct {
 	LargestWindow int
 }
 
+// Package-level timer handlers: passing these to Scheduler.ScheduleArg
+// with the station as payload costs zero allocations per event, where the
+// old per-call method values (s.onDifsEnd etc.) allocated a closure for
+// every DIFS wait, backoff slot, and response timeout — the dominant term
+// of the simulator's allocation profile.
+func handleDifsEnd(now event.Time, arg any)     { arg.(*station).onDifsEnd(now) }
+func handleArrival(now event.Time, arg any)     { arg.(*station).arrive(now) }
+func handleSlot(now event.Time, arg any)        { arg.(*station).onSlot(now) }
+func handleRespTimeout(now event.Time, arg any) { arg.(*station).onRespTimeout(now) }
+func handleSifsData(now event.Time, arg any)    { arg.(*station).onSifsData(now) }
+
 // station is one contending sender.
 type station struct {
 	idx  int
@@ -167,7 +178,7 @@ func (s *station) startDIFS() {
 	if s.useEIFS && s.sim.cfg.EIFS > defer1 {
 		defer1 = s.sim.cfg.EIFS
 	}
-	s.difsTimer = s.sim.sched.ScheduleNamed("difs", defer1, s.onDifsEnd)
+	s.difsTimer = s.sim.sched.ScheduleArg("difs", defer1, handleDifsEnd, s)
 }
 
 func (s *station) onDifsEnd(now event.Time) {
@@ -191,7 +202,11 @@ func (s *station) onDifsEnd(now event.Time) {
 }
 
 func (s *station) scheduleSlot() {
-	s.slotTimer = s.sim.sched.ScheduleNamed("slot", s.sim.cfg.SlotTime, s.onSlot)
+	s.slotTimer = s.sim.sched.ScheduleArg("slot", s.sim.cfg.SlotTime, handleSlot, s)
+	// Arming a slot timer is the one transition that can complete an
+	// "every armed event is a backoff countdown" state — the idle-slot
+	// fast-forward's trigger (run.go).
+	s.sim.trySkipSlots()
 }
 
 func (s *station) onSlot(now event.Time) {
@@ -261,7 +276,7 @@ func (s *station) TxDone(tx *phy.Tx, now event.Time) {
 		return
 	}
 	s.state = stateAwaitResp
-	s.respTimer = s.sim.sched.ScheduleNamed("respTimeout", s.sim.cfg.AckTimeout, s.onRespTimeout)
+	s.respTimer = s.sim.sched.ScheduleArg("respTimeout", s.sim.cfg.AckTimeout, handleRespTimeout, s)
 }
 
 // onRespTimeout fires when no ACK (or CTS) arrived in time: the station
@@ -341,9 +356,12 @@ func (s *station) FrameEnd(tx *phy.Tx, ok bool, now event.Time) {
 		s.sim.sched.Cancel(s.respTimer)
 		s.respTimer = nil
 		s.state = stateSifsWait
-		s.sifsTimer = s.sim.sched.ScheduleNamed("sifsData", s.sim.cfg.SIFS, func(event.Time) {
-			s.sifsTimer = nil
-			s.transmitFrame(s.sim.sched.Now(), FrameData)
-		})
+		s.sifsTimer = s.sim.sched.ScheduleArg("sifsData", s.sim.cfg.SIFS, handleSifsData, s)
 	}
+}
+
+// onSifsData fires a SIFS after a received CTS: the data frame follows.
+func (s *station) onSifsData(now event.Time) {
+	s.sifsTimer = nil
+	s.transmitFrame(now, FrameData)
 }

@@ -116,12 +116,28 @@ type Medium struct {
 	nodes  []*Node
 	active []*Tx
 
-	// gain[i][j] caches the linear channel gain (mW received per mW sent)
-	// between node i and node j.
-	gain [][]float64
+	// rxMw[i][j] caches the linear received power (mW) at node j for a
+	// transmission from node i, folding the constant transmit power into
+	// the path-loss gain. Reception decisions run once per (frame,
+	// receiver) and interference sweeps once per (frame, receiver,
+	// interferer), so the dBm-to-mW conversions here must not be
+	// recomputed per call — math.Pow was >80% of the simulator's CPU
+	// profile before this matrix and the threshold caches below.
+	rxMw [][]float64
+
+	// csMw and noiseMw cache the carrier-sense and noise-floor thresholds
+	// in linear milliwatts (cfg is immutable after NewMedium).
+	csMw, noiseMw float64
 
 	// lossRand drives random frame loss (nil when FrameLossProb == 0).
 	lossRand *rng.Source
+
+	// deliv and pts are scratch buffers reused across endTx calls, so a
+	// frame end allocates nothing in steady state. Safe because a
+	// simulation is single-goroutine and nothing re-enters endTx (listener
+	// callbacks only schedule; they never end a transmission inline).
+	deliv []delivery
+	pts   []event.Time
 
 	// Stats.
 	TotalTx     int
@@ -129,12 +145,31 @@ type Medium struct {
 	PeakOverlap int
 }
 
+// delivery is one pending FrameEnd verdict (see endTx).
+type delivery struct {
+	n  *Node
+	ok bool
+}
+
+// handleTxEnd fires at a transmission's (possibly truncated) end; the Tx
+// payload carries everything the medium needs, so scheduling it allocates
+// nothing per event.
+func handleTxEnd(now event.Time, arg any) {
+	tx := arg.(*Tx)
+	tx.Src.medium.endTx(tx, now)
+}
+
 // NewMedium creates a medium using the given scheduler and radio config.
 func NewMedium(sched *event.Scheduler, cfg Config) *Medium {
 	if cfg.PathLoss == nil {
 		cfg.PathLoss = NewLogDistance()
 	}
-	m := &Medium{cfg: cfg, sched: sched}
+	m := &Medium{
+		cfg:     cfg,
+		sched:   sched,
+		csMw:    cfg.CSThreshold.MilliWatt(),
+		noiseMw: cfg.NoiseFloor.MilliWatt(),
+	}
 	if cfg.FrameLossProb > 0 {
 		m.lossRand = rng.New(cfg.LossSeed)
 	}
@@ -149,7 +184,7 @@ func (m *Medium) Config() Config { return m.cfg }
 func (m *Medium) AddNode(pos Position, l Listener) *Node {
 	n := &Node{ID: len(m.nodes), Pos: pos, medium: m, listener: l}
 	m.nodes = append(m.nodes, n)
-	m.gain = nil // invalidate cache
+	m.rxMw = nil // invalidate cache
 	return n
 }
 
@@ -162,15 +197,16 @@ func (m *Medium) Nodes() []*Node { return m.nodes }
 
 func (m *Medium) buildGains() {
 	k := len(m.nodes)
-	m.gain = make([][]float64, k)
-	for i := range m.gain {
-		m.gain[i] = make([]float64, k)
-		for j := range m.gain[i] {
+	txMw := m.cfg.TxPower.MilliWatt()
+	m.rxMw = make([][]float64, k)
+	for i := range m.rxMw {
+		m.rxMw[i] = make([]float64, k)
+		for j := range m.rxMw[i] {
 			if i == j {
 				continue
 			}
 			d := m.nodes[i].Pos.DistanceTo(m.nodes[j].Pos)
-			m.gain[i][j] = DB(-m.cfg.PathLoss.Loss(d)).Ratio()
+			m.rxMw[i][j] = txMw * DB(-m.cfg.PathLoss.Loss(d)).Ratio()
 		}
 	}
 }
@@ -178,10 +214,10 @@ func (m *Medium) buildGains() {
 // rxPowerMw returns the received power at dst for a transmission from src,
 // in milliwatts.
 func (m *Medium) rxPowerMw(src, dst *Node) float64 {
-	if m.gain == nil {
+	if m.rxMw == nil {
 		m.buildGains()
 	}
-	return m.cfg.TxPower.MilliWatt() * m.gain[src.ID][dst.ID]
+	return m.rxMw[src.ID][dst.ID]
 }
 
 // RxPower returns the received power at dst for a transmission from src.
@@ -214,7 +250,7 @@ func (m *Medium) Transmit(src *Node, rate Rate, bytes int, data any) *Tx {
 	src.sending = true
 
 	// Carrier-sense rising edges at every other node that can hear it.
-	csMw := m.cfg.CSThreshold.MilliWatt()
+	csMw := m.csMw
 	for _, n := range m.nodes {
 		if n == src {
 			continue
@@ -227,7 +263,7 @@ func (m *Medium) Transmit(src *Node, rate Rate, bytes int, data any) *Tx {
 		}
 	}
 
-	tx.endEv = m.sched.ScheduleNamed("phy.txEnd", dur, func(end event.Time) { m.endTx(tx, end) })
+	tx.endEv = m.sched.ScheduleArg("phy.txEnd", dur, handleTxEnd, tx)
 
 	// Instant collision detection (ablation / Section V-B multi-antenna
 	// regime): everything involved in the overlap stops shortly after the
@@ -252,8 +288,7 @@ func (m *Medium) truncate(tx *Tx, at event.Time) {
 	m.TotalAirNs -= int64(tx.End - at)
 	tx.End = at
 	tx.aborted = true
-	tx.endEv = m.sched.ScheduleNamed("phy.txAbort", at-m.sched.Now(),
-		func(end event.Time) { m.endTx(tx, end) })
+	tx.endEv = m.sched.ScheduleArg("phy.txAbort", at-m.sched.Now(), handleTxEnd, tx)
 }
 
 func (m *Medium) endTx(tx *Tx, now event.Time) {
@@ -265,25 +300,23 @@ func (m *Medium) endTx(tx *Tx, now event.Time) {
 		}
 	}
 	tx.Src.sending = false
+	tx.endEv = nil // fired: the kernel recycles it, drop the stale handle
 
 	// Deliver reception verdicts before idle notifications so that MAC
 	// reactions to the frame (e.g. scheduling a SIFS) observe a consistent
 	// pre-idle state, then drop carrier sense.
-	csMw := m.cfg.CSThreshold.MilliWatt()
-	type pending struct {
-		n  *Node
-		ok bool
-	}
-	var deliveries []pending
+	csMw := m.csMw
+	deliveries := m.deliv[:0]
 	for _, n := range m.nodes {
 		if n == tx.Src || n.listener == nil {
 			continue
 		}
-		deliveries = append(deliveries, pending{n, m.decodes(tx, n)})
+		deliveries = append(deliveries, delivery{n, m.decodes(tx, n)})
 	}
 	for _, d := range deliveries {
 		d.n.listener.FrameEnd(tx, d.ok, now)
 	}
+	m.deliv = deliveries[:0]
 	if tx.Src.listener != nil {
 		tx.Src.listener.TxDone(tx, now)
 	}
@@ -309,8 +342,8 @@ func (m *Medium) decodes(tx *Tx, n *Node) bool {
 		return false
 	}
 	sigMw := m.rxPowerMw(tx.Src, n)
-	noiseMw := m.cfg.NoiseFloor.MilliWatt()
-	need := tx.Rate.MinSINR().Ratio()
+	noiseMw := m.noiseMw
+	need := tx.Rate.MinSINRRatio()
 	if sigMw/noiseMw < need {
 		return false
 	}
@@ -340,13 +373,13 @@ func (m *Medium) maxInterferenceMw(tx *Tx, n *Node) float64 {
 	}
 	// Collect the candidate evaluation instants: tx.Start and every
 	// interferer start clipped into [tx.Start, tx.End).
-	points := make([]event.Time, 0, len(tx.interferers)+1)
-	points = append(points, tx.Start)
+	points := append(m.pts[:0], tx.Start)
 	for _, itx := range tx.interferers {
 		if itx.Start > tx.Start && itx.Start < tx.End {
 			points = append(points, itx.Start)
 		}
 	}
+	m.pts = points[:0]
 	var worst float64
 	for _, p := range points {
 		var sum float64

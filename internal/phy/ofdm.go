@@ -53,6 +53,21 @@ func (r Rate) NDBPS() int { return ofdmRates[r].ndbps }
 // this rate.
 func (r Rate) MinSINR() DB { return ofdmRates[r].minSINR }
 
+// sinrRatios precomputes each rate's linear decoding threshold. The
+// reception decision runs once per (frame, receiver) — the simulator's
+// hottest floating-point path — and math.Pow dominated its profile when
+// converted on every call.
+var sinrRatios = func() (out [len(ofdmRates)]float64) {
+	for r, t := range ofdmRates {
+		out[r] = t.minSINR.Ratio()
+	}
+	return out
+}()
+
+// MinSINRRatio returns MinSINR as a precomputed linear power ratio,
+// bit-identical to MinSINR().Ratio().
+func (r Rate) MinSINRRatio() float64 { return sinrRatios[r] }
+
 // Mbps returns the nominal data rate in megabits per second.
 func (r Rate) Mbps() float64 { return ofdmRates[r].bitsPerS }
 

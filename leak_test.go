@@ -1,0 +1,74 @@
+package repro
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSweepAbandonWithCancelDoesNotLeak exercises the documented escape
+// hatch for abandoning a sweep mid-stream (sweep.go): cancel the context
+// instead of draining the channel. The forwarding goroutine and the pool
+// workers must all exit — a sweep abandoned this way in a long-lived process
+// (the figure harness, a service) must not accumulate goroutines.
+func TestSweepAbandonWithCancelDoesNotLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	for round := 0; round < 5; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		eng := Engine{Workers: 4}
+		scenarios := []Scenario{
+			{Model: Abstract(), Algorithm: MustAlgorithm("BEB"), N: 50},
+			{Model: Abstract(), Algorithm: MustAlgorithm("LLB"), N: 50},
+		}
+		ch := eng.Sweep(ctx, scenarios, []uint64{1, 2, 3, 4, 5})
+
+		// Take one cell, then abandon the rest of the stream.
+		if cell, ok := <-ch; ok && cell.Err != nil {
+			t.Fatalf("round %d: first cell failed: %v", round, cell.Err)
+		}
+		cancel()
+	}
+
+	// Cancelled forwarders and workers unwind asynchronously; poll with a
+	// deadline rather than sleeping a fixed interval.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // settle finalizer goroutines spawned by the runtime
+		now := runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before the sweeps, %d after cancellation", before, now)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSweepDrainedNeedsNoCancel: fully draining the stream is the other
+// documented way out — no cancellation required, nothing left behind.
+func TestSweepDrainedNeedsNoCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	eng := Engine{Workers: 2}
+	scenarios := []Scenario{{Model: Abstract(), Algorithm: MustAlgorithm("BEB"), N: 20}}
+	for cell := range eng.Sweep(context.Background(), scenarios, []uint64{1, 2, 3}) {
+		if cell.Err != nil {
+			t.Fatalf("cell (%d,%d): %v", cell.ScenarioIndex, cell.SeedIndex, cell.Err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before the sweep, %d after draining", before, now)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
