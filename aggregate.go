@@ -102,6 +102,37 @@ func ThroughputMbps() Metric {
 	}}
 }
 
+// MetricByName resolves a built-in metric by its report-column name — the
+// wire-side inverse of Metric.Name, used by serving layers that receive
+// metric selections as strings. MetricNames lists the valid names.
+func MetricByName(name string) (Metric, bool) {
+	for _, m := range builtinMetrics() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// MetricNames returns the names of every built-in metric, in presentation
+// order.
+func MetricNames() []string {
+	ms := builtinMetrics()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// builtinMetrics lists every built-in metric constructor's value, in the
+// order MetricNames presents.
+func builtinMetrics() []Metric {
+	return []Metric{
+		MakespanSlots(), TotalTime(), CollisionRate(), CollisionCount(), ThroughputMbps(),
+	}
+}
+
 // PointSummary is the paper's aggregate of one scenario's trials for one
 // metric: the median with its distribution-free 95% confidence interval,
 // computed after discarding points farther than 1.5·IQR from the median.

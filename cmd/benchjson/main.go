@@ -63,7 +63,7 @@ type File struct {
 }
 
 func main() {
-	bench := flag.String("bench", "^BenchmarkSweep(Serial|Parallel|Cached)$",
+	bench := flag.String("bench", "^Benchmark(Sweep(Serial|Parallel|Cached)|ServeWarm)$",
 		"benchmark regex passed to go test -bench")
 	count := flag.Int("count", 5, "runs per benchmark; the committed value is the median")
 	pkg := flag.String("pkg", ".", "package to benchmark")

@@ -1,0 +1,330 @@
+// Command loadgen hammers a running `serve` instance with many concurrent
+// clients sweeping overlapping scenario grids, then reports throughput,
+// latency quantiles, and the server's cache behaviour. Because the grids
+// overlap and every client runs the same trial seeds, the store's
+// singleflight path is under real contention — the interesting claim to
+// check is that each unique (fingerprint, seed) cell simulates exactly
+// once, which loadgen verifies by computing the unique-cell count locally
+// and comparing it against the server's /v1/stats miss delta.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 -clients 100 -requests 4 -expect cold
+//	loadgen -url http://localhost:8080 -clients 100 -requests 4 -expect warm
+//
+// -expect cold asserts misses == unique cells (exactly-once under
+// contention); -expect warm asserts misses == 0 (fully cache-served).
+// -dump writes one canonical full-grid sweep response to a file, which is
+// byte-identical across runs against the same store (bit-identical replay).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+// algos are the batch algorithms the grids draw from; ns are the batch
+// sizes. The scenario pool is their cross product under the abstract model
+// (cheap cells — loadgen stresses the serving layer, not the simulator).
+var (
+	algos = []string{"BEB", "LB", "LLB", "STB"}
+	ns    = []int{50, 100, 150, 200, 250, 300}
+)
+
+type sweepRequest struct {
+	Scenarios []repro.ScenarioSpec `json:"scenarios"`
+	Seeds     []uint64             `json:"seeds"`
+}
+
+// statsReply mirrors the /v1/stats fields loadgen reads.
+type statsReply struct {
+	Store *struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"store"`
+	Sims struct {
+		Total int64 `json:"total"`
+	} `json:"sims"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		baseURL  = flag.String("url", "http://localhost:8080", "serve base URL")
+		clients  = flag.Int("clients", 100, "concurrent clients")
+		requests = flag.Int("requests", 4, "sweep requests per client")
+		width    = flag.Int("width", 8, "scenarios per grid (overlapping windows over the pool)")
+		trials   = flag.Int("trials", 3, "seeds per scenario")
+		seed     = flag.Uint64("seed", 1, "base seed for the trial ladder")
+		dump     = flag.String("dump", "", "write one canonical full-grid sweep response to this file")
+		expect   = flag.String("expect", "", "assert cache behaviour: cold (misses == unique cells) or warm (misses == 0)")
+	)
+	flag.Parse()
+	if *expect != "" && *expect != "cold" && *expect != "warm" {
+		return fmt.Errorf("-expect must be cold or warm, got %q", *expect)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	pool := scenarioPool()
+	seeds := repro.Seeds(*seed, *trials)
+	grids := make([][]repro.ScenarioSpec, *clients)
+	for c := range grids {
+		grids[c] = window(pool, c, *width)
+	}
+	unique, err := uniqueCells(grids, seeds)
+	if err != nil {
+		return err
+	}
+
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *clients * 2,
+		MaxIdleConnsPerHost: *clients * 2,
+	}}
+
+	before, err := fetchStats(ctx, hc, *baseURL, true)
+	if err != nil {
+		return fmt.Errorf("server not reachable at %s: %w", *baseURL, err)
+	}
+
+	// The load phase: every client runs its grid -requests times.
+	type outcome struct {
+		latencies []float64 // ms
+		cells     int
+		err       error
+	}
+	outcomes := make([]outcome, *clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			o := &outcomes[c]
+			body, err := json.Marshal(sweepRequest{Scenarios: grids[c], Seeds: seeds})
+			if err != nil {
+				o.err = err
+				return
+			}
+			want := len(grids[c]) * len(seeds)
+			for rq := 0; rq < *requests && o.err == nil && ctx.Err() == nil; rq++ {
+				t0 := time.Now()
+				lines, err := sweep(ctx, hc, *baseURL, fmt.Sprintf("client-%d", c), body)
+				if err != nil {
+					o.err = fmt.Errorf("client %d request %d: %w", c, rq, err)
+					return
+				}
+				if lines != want {
+					o.err = fmt.Errorf("client %d request %d: got %d cells, want %d", c, rq, lines, want)
+					return
+				}
+				o.latencies = append(o.latencies, float64(time.Since(t0))/float64(time.Millisecond))
+				o.cells += lines
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	var lat []float64
+	totalCells, totalReqs := 0, 0
+	for i := range outcomes {
+		if outcomes[i].err != nil {
+			return outcomes[i].err
+		}
+		lat = append(lat, outcomes[i].latencies...)
+		totalCells += outcomes[i].cells
+		totalReqs += len(outcomes[i].latencies)
+	}
+
+	after, err := fetchStats(ctx, hc, *baseURL, false)
+	if err != nil {
+		return err
+	}
+	if *dump != "" {
+		if err := dumpFullGrid(ctx, hc, *baseURL, pool, seeds, *dump); err != nil {
+			return err
+		}
+	}
+
+	sec := elapsed.Seconds()
+	fmt.Printf("loadgen: %d clients × %d requests, %d cells in %.2fs (%.0f req/s, %.0f cells/s)\n",
+		*clients, *requests, totalCells, sec, float64(totalReqs)/sec, float64(totalCells)/sec)
+	fmt.Printf("loadgen: latency p50=%.1fms p99=%.1fms\n",
+		stats.Quantile(lat, 0.50), stats.Quantile(lat, 0.99))
+
+	if before.Store == nil || after.Store == nil {
+		fmt.Println("loadgen: server runs without a store; skipping cache accounting")
+		if *expect != "" {
+			return fmt.Errorf("-expect %s needs a store-backed server", *expect)
+		}
+		return nil
+	}
+	dh := after.Store.Hits - before.Store.Hits
+	dm := after.Store.Misses - before.Store.Misses
+	rate := 0.0
+	if dh+dm > 0 {
+		rate = float64(dh) / float64(dh+dm)
+	}
+	fmt.Printf("loadgen: store-delta hits=+%d misses=+%d unique-cells=%d hit-rate=%.3f sims-total=%d\n",
+		dh, dm, unique, rate, after.Sims.Total)
+
+	switch *expect {
+	case "cold":
+		if dm != int64(unique) {
+			return fmt.Errorf("expected cold store to simulate each unique cell exactly once: misses=+%d, unique cells=%d", dm, unique)
+		}
+	case "warm":
+		if dm != 0 {
+			return fmt.Errorf("expected warm store to serve everything from cache: misses=+%d", dm)
+		}
+	}
+	return nil
+}
+
+// scenarioPool builds the shared pool every grid windows over.
+func scenarioPool() []repro.ScenarioSpec {
+	var pool []repro.ScenarioSpec
+	for _, a := range algos {
+		for _, n := range ns {
+			pool = append(pool, repro.ScenarioSpec{Model: "abstract", Algorithm: a, N: n})
+		}
+	}
+	return pool
+}
+
+// window returns the i-th overlapping window of width w over the pool
+// (circular), so neighbouring clients share most of their scenarios.
+func window(pool []repro.ScenarioSpec, i, w int) []repro.ScenarioSpec {
+	if w > len(pool) {
+		w = len(pool)
+	}
+	out := make([]repro.ScenarioSpec, w)
+	for j := 0; j < w; j++ {
+		out[j] = pool[(i+j)%len(pool)]
+	}
+	return out
+}
+
+// uniqueCells counts distinct (fingerprint, seed) cells across all grids —
+// the number of simulations a cold store must run, however the requests
+// overlap and race.
+func uniqueCells(grids [][]repro.ScenarioSpec, seeds []uint64) (int, error) {
+	fps := make(map[string]bool)
+	for _, grid := range grids {
+		for _, sp := range grid {
+			sc, err := sp.Scenario()
+			if err != nil {
+				return 0, err
+			}
+			fp, err := sc.Fingerprint()
+			if err != nil {
+				return 0, err
+			}
+			fps[fp] = true
+		}
+	}
+	return len(fps) * len(seeds), nil
+}
+
+// sweep posts one sweep request and fully drains the NDJSON stream,
+// returning the number of cell lines.
+func sweep(ctx context.Context, hc *http.Client, baseURL, client string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client", client)
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return bytes.Count(data, []byte{'\n'}), nil
+}
+
+// fetchStats reads /v1/stats; with retry set it polls briefly so loadgen
+// can be started alongside the server.
+func fetchStats(ctx context.Context, hc *http.Client, baseURL string, retry bool) (statsReply, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var out statsReply
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/stats", nil)
+		if err != nil {
+			return out, err
+		}
+		resp, err := hc.Do(req)
+		if err == nil {
+			data, rerr := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				return out, json.Unmarshal(data, &out)
+			}
+			err = fmt.Errorf("GET /v1/stats: HTTP %d", resp.StatusCode)
+		}
+		if !retry || time.Now().After(deadline) || ctx.Err() != nil {
+			return statsReply{}, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// dumpFullGrid sweeps the entire pool once and writes the raw NDJSON body.
+// Against a warmed store this replays deterministically, so two dumps from
+// the same store are byte-identical — the CI smoke job asserts exactly that.
+func dumpFullGrid(ctx context.Context, hc *http.Client, baseURL string, pool []repro.ScenarioSpec, seeds []uint64, path string) error {
+	body, err := json.Marshal(sweepRequest{Scenarios: pool, Seeds: seeds})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client", "dump")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dump sweep: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,302 @@
+package repro
+
+// Wire codec for Scenario: the JSON shape serving layers exchange.
+// ScenarioSpec mirrors Scenario field by field but carries only values with
+// a canonical textual form — model and algorithm names, workload parameters,
+// the two serializable options (payload, RTS/CTS). Options with no wire form
+// (trace recorders, WithConfig closures, raw-seed consumption) refuse to
+// encode rather than silently dropping behavior, and seeds are deliberately
+// absent: the wire carries seeds per request (one per grid cell), never
+// inside the scenario, mirroring how the store keys records by
+// (Scenario.Fingerprint, seed).
+//
+// Decoding is strict — unknown fields, trailing data, and parameters that
+// do not apply to the declared workload kind are errors — so a typo in a
+// request body fails loudly instead of running a subtly different
+// experiment. The invariant tying the two directions together: a decoded
+// spec's Scenario and the re-encoded spec of that Scenario have equal
+// Fingerprints (fuzzed in codec_test.go).
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ScenarioSpec is the wire form of a Scenario.
+type ScenarioSpec struct {
+	// Model names the channel model: "abstract", "abstract-unaligned", or
+	// "wifi".
+	Model string `json:"model"`
+	// Algorithm is the algorithm spec string (ParseAlgorithm's input);
+	// omitted when the workload prescribes its own (best-of-k, tree).
+	Algorithm string `json:"algorithm,omitempty"`
+	// N is the number of stations.
+	N int `json:"n"`
+	// Workload selects what the stations do; omitted means single-batch.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// Payload is the application payload in bytes; 0 means the default (64).
+	// Only meaningful under the wifi model.
+	Payload int `json:"payload,omitempty"`
+	// RTSCTS enables the RTS/CTS handshake (wifi model only).
+	RTSCTS bool `json:"rtscts,omitempty"`
+}
+
+// WorkloadSpec is the wire form of a Workload.
+type WorkloadSpec struct {
+	// Kind is "single-batch", "tree", "best-of-k", or "continuous".
+	Kind string `json:"kind"`
+	// K is the number of estimation rounds (best-of-k only).
+	K int `json:"k,omitempty"`
+	// Arrivals selects the packet-arrival process (continuous only).
+	Arrivals *ArrivalsSpec `json:"arrivals,omitempty"`
+	// HorizonNS is the simulated duration in nanoseconds (continuous only);
+	// nanoseconds keep the wire form lossless against time.Duration.
+	HorizonNS int64 `json:"horizon_ns,omitempty"`
+}
+
+// ArrivalsSpec is the wire form of an ArrivalSpec.
+type ArrivalsSpec struct {
+	// Kind is "poisson", "periodic", "saturated", or "pareto".
+	Kind string `json:"kind"`
+	// Rate is the Poisson arrival rate in packets/s per station.
+	Rate float64 `json:"rate,omitempty"`
+	// GapNS is the periodic interval, or the Pareto minimum quiet gap, in
+	// nanoseconds.
+	GapNS int64 `json:"gap_ns,omitempty"`
+	// Alpha and Burst are the Pareto tail exponent and mean burst size.
+	Alpha float64 `json:"alpha,omitempty"`
+	Burst float64 `json:"burst,omitempty"`
+}
+
+// ModelByName resolves a model's stable name ("abstract",
+// "abstract-unaligned", "wifi") to the Model it denotes — the wire-side
+// inverse of Model.Name.
+func ModelByName(name string) (Model, bool) {
+	switch name {
+	case "abstract":
+		return Abstract(), true
+	case "abstract-unaligned":
+		return AbstractUnaligned(), true
+	case "wifi":
+		return WiFi(), true
+	}
+	return nil, false
+}
+
+// DecodeScenarioSpec parses one JSON-encoded ScenarioSpec strictly: unknown
+// fields and trailing data are errors. It validates only JSON shape; build
+// the typed Scenario (and full validation) with ScenarioSpec.Scenario.
+func DecodeScenarioSpec(data []byte) (ScenarioSpec, error) {
+	var sp ScenarioSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return ScenarioSpec{}, fmt.Errorf("repro: decoding scenario spec: %w", err)
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return ScenarioSpec{}, fmt.Errorf("repro: decoding scenario spec: trailing data after JSON value")
+	}
+	return sp, nil
+}
+
+// Scenario builds and validates the typed Scenario the spec describes.
+// Parameters that do not apply to the declared workload kind (a k on a tree
+// workload, arrivals on a batch) are rejected, so a spec cannot smuggle
+// ignored knobs.
+func (sp ScenarioSpec) Scenario() (Scenario, error) {
+	m, ok := ModelByName(sp.Model)
+	if !ok {
+		return Scenario{}, fmt.Errorf("repro: unknown model %q (want abstract, abstract-unaligned, or wifi)", sp.Model)
+	}
+	s := Scenario{Model: m, N: sp.N}
+	if sp.Algorithm != "" {
+		a, err := ParseAlgorithm(sp.Algorithm)
+		if err != nil {
+			return Scenario{}, err
+		}
+		s.Algorithm = a
+	}
+	if sp.Workload != nil {
+		w, err := sp.Workload.workload()
+		if err != nil {
+			return Scenario{}, err
+		}
+		s.Workload = w
+	}
+	if sp.Payload < 0 {
+		return Scenario{}, fmt.Errorf("repro: payload must be >= 0, got %d", sp.Payload)
+	}
+	if sp.Payload > 0 {
+		s.Options = append(s.Options, WithPayload(sp.Payload))
+	}
+	if sp.RTSCTS {
+		s.Options = append(s.Options, WithRTSCTS())
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// workload builds the typed Workload, rejecting parameters foreign to the
+// declared kind.
+func (w WorkloadSpec) workload() (Workload, error) {
+	reject := func(field string) error {
+		return fmt.Errorf("repro: workload kind %q does not take %s", w.Kind, field)
+	}
+	switch w.Kind {
+	case "", "single-batch", "tree":
+		if w.K != 0 {
+			return nil, reject("k")
+		}
+		if w.Arrivals != nil {
+			return nil, reject("arrivals")
+		}
+		if w.HorizonNS != 0 {
+			return nil, reject("horizon_ns")
+		}
+		if w.Kind == "tree" {
+			return TreeWorkload{}, nil
+		}
+		return SingleBatch{}, nil
+	case "best-of-k":
+		if w.Arrivals != nil {
+			return nil, reject("arrivals")
+		}
+		if w.HorizonNS != 0 {
+			return nil, reject("horizon_ns")
+		}
+		return BestOfKWorkload{K: w.K}, nil
+	case "continuous":
+		if w.K != 0 {
+			return nil, reject("k")
+		}
+		if w.Arrivals == nil {
+			return nil, fmt.Errorf("repro: continuous workload needs arrivals")
+		}
+		a, err := w.Arrivals.arrivals()
+		if err != nil {
+			return nil, err
+		}
+		return ContinuousWorkload{Arrivals: a, Horizon: time.Duration(w.HorizonNS)}, nil
+	default:
+		return nil, fmt.Errorf("repro: unknown workload kind %q (want single-batch, tree, best-of-k, or continuous)", w.Kind)
+	}
+}
+
+// arrivals builds the typed ArrivalSpec, rejecting parameters foreign to
+// the declared kind. Value validation (positive rates, alpha > 1) is
+// Scenario.Validate's job, via ArrivalSpec.process.
+func (a ArrivalsSpec) arrivals() (ArrivalSpec, error) {
+	reject := func(field string) (ArrivalSpec, error) {
+		return ArrivalSpec{}, fmt.Errorf("repro: arrivals kind %q does not take %s", a.Kind, field)
+	}
+	zero := struct {
+		rate, alpha, burst bool
+		gap                bool
+	}{a.Rate == 0, a.Alpha == 0, a.Burst == 0, a.GapNS == 0}
+	switch a.Kind {
+	case "poisson":
+		if !zero.gap {
+			return reject("gap_ns")
+		}
+		if !zero.alpha || !zero.burst {
+			return reject("alpha/burst")
+		}
+		return Poisson(a.Rate), nil
+	case "periodic":
+		if !zero.rate || !zero.alpha || !zero.burst {
+			return reject("rate/alpha/burst")
+		}
+		return Periodic(time.Duration(a.GapNS)), nil
+	case "saturated":
+		if !zero.rate || !zero.alpha || !zero.burst || !zero.gap {
+			return reject("parameters")
+		}
+		return Saturated(), nil
+	case "pareto":
+		if !zero.rate {
+			return reject("rate")
+		}
+		return BurstyPareto(a.Alpha, time.Duration(a.GapNS), a.Burst), nil
+	default:
+		return ArrivalSpec{}, fmt.Errorf("repro: unknown arrivals kind %q (want poisson, periodic, saturated, or pareto)", a.Kind)
+	}
+}
+
+// SpecOf returns the wire form of a scenario. It fails on scenarios the
+// wire cannot carry faithfully: a nil or custom Model, a trace recorder,
+// WithConfig tweaks, or raw-seed consumption — encoding those as a partial
+// spec would describe a different experiment. Any WithSeed in the options is
+// dropped (the wire carries seeds per request), and MAC-only options are
+// canonicalized away under the abstract models, matching what Fingerprint
+// hashes: SpecOf(s).Scenario() has s's fingerprint.
+func SpecOf(s Scenario) (ScenarioSpec, error) {
+	if s.Model == nil {
+		return ScenarioSpec{}, fmt.Errorf("repro: cannot encode a scenario without a Model")
+	}
+	name := s.Model.Name()
+	if _, ok := ModelByName(name); !ok {
+		return ScenarioSpec{}, fmt.Errorf("repro: cannot encode unknown model %q", name)
+	}
+	o := buildOptions(s.Options)
+	switch {
+	case o.tracer != nil:
+		return ScenarioSpec{}, fmt.Errorf("repro: a trace recorder has no wire form")
+	case len(o.cfgTweaks) > 0:
+		return ScenarioSpec{}, fmt.Errorf("repro: WithConfig tweaks have no wire form")
+	case o.rawSeed:
+		return ScenarioSpec{}, fmt.Errorf("repro: WithRawSeed has no wire form")
+	}
+
+	sp := ScenarioSpec{Model: name, N: s.N}
+	if s.algorithmRequired() {
+		sp.Algorithm = s.Algorithm.String()
+	}
+	switch w := s.workload().(type) {
+	case SingleBatch:
+		// The zero Workload field already means single-batch.
+	case TreeWorkload:
+		sp.Workload = &WorkloadSpec{Kind: "tree"}
+	case BestOfKWorkload:
+		sp.Workload = &WorkloadSpec{Kind: "best-of-k", K: w.K}
+	case ContinuousWorkload:
+		as, err := arrivalsSpecOf(w.Arrivals)
+		if err != nil {
+			return ScenarioSpec{}, err
+		}
+		sp.Workload = &WorkloadSpec{Kind: "continuous", Arrivals: &as, HorizonNS: int64(w.Horizon)}
+	default:
+		return ScenarioSpec{}, fmt.Errorf("repro: cannot encode unknown workload %T", w)
+	}
+	if name == "wifi" {
+		// Abstract models ignore the MAC options entirely (they are excluded
+		// from the fingerprint there), so emitting them would only split
+		// equal work into unequal specs.
+		if o.payload != 64 {
+			sp.Payload = o.payload
+		}
+		sp.RTSCTS = o.rtscts
+	}
+	return sp, nil
+}
+
+// arrivalsSpecOf is SpecOf's inverse of the ArrivalsSpec constructors.
+func arrivalsSpecOf(a ArrivalSpec) (ArrivalsSpec, error) {
+	switch a.kind {
+	case "poisson":
+		return ArrivalsSpec{Kind: "poisson", Rate: a.rate}, nil
+	case "periodic":
+		return ArrivalsSpec{Kind: "periodic", GapNS: int64(a.gap)}, nil
+	case "saturated":
+		return ArrivalsSpec{Kind: "saturated"}, nil
+	case "pareto":
+		return ArrivalsSpec{Kind: "pareto", Alpha: a.alpha, GapNS: int64(a.gap), Burst: a.burst}, nil
+	default:
+		return ArrivalsSpec{}, fmt.Errorf("repro: cannot encode empty arrival spec")
+	}
+}

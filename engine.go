@@ -270,6 +270,19 @@ type Engine struct {
 	// and a replay would skip trace side effects); scenarios that cannot be
 	// fingerprinted run uncached.
 	Store *Store
+
+	// Admit, when non-nil, gates every simulator invocation of the grid
+	// paths (Sweep, SweepSeeded, RunMany, Aggregate, AggregateSeeded): it is
+	// called just before a cell simulates, and the release it returns when
+	// the simulation finishes. Store replays and singleflight followers
+	// never call it — admission budgets spend on simulations, not on cache
+	// traffic — which is what lets a serving layer bound concurrent
+	// simulation work globally while warm requests stay unthrottled
+	// (internal/serve). An Admit error fails the cell with that error.
+	// Admit must be safe for concurrent use; blocking implementations
+	// should honor ctx so cancelled sweeps stop waiting for budget. Run
+	// does not consult Admit (it is the synchronous single-execution path).
+	Admit func(ctx context.Context) (release func(), err error)
 }
 
 // WithStore returns a copy of the engine that serves grid cells through st;

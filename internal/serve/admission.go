@@ -1,0 +1,95 @@
+package serve
+
+// Request admission. Two independent limits layer over the engine's worker
+// pool:
+//
+//   - a global in-flight simulation budget (a counting semaphore plugged
+//     into Engine.Admit), charged only when a cell actually simulates —
+//     store replays and singleflight followers are free, so warm traffic
+//     is never throttled and a budget of k bounds the process to k
+//     concurrent simulations no matter how many requests are streaming;
+//   - a per-client concurrent-request limit, enforced before any work
+//     starts; one greedy client gets 429s instead of starving the rest.
+//
+// The semaphore acquisition honors the request context, so a client that
+// disconnects while its cells are queued for budget stops waiting.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+type admission struct {
+	sims      chan struct{} // nil = unlimited
+	perClient int
+
+	inFlight atomic.Int64 // simulations running now
+	total    atomic.Int64 // simulator invocations since startup
+
+	mu      sync.Mutex
+	clients map[string]int // client id → concurrent requests
+}
+
+func newAdmission(maxSims, perClient int) *admission {
+	a := &admission{perClient: perClient, clients: make(map[string]int)}
+	if maxSims > 0 {
+		a.sims = make(chan struct{}, maxSims)
+	}
+	return a
+}
+
+// admitSim is the Engine.Admit hook: it blocks until a simulation slot is
+// free (or ctx is cancelled) and returns the release. total counts every
+// admission, which makes it an exact simulator-invocation counter — the
+// serving layer's "a warm sweep simulates zero times" guarantee is asserted
+// against it.
+func (a *admission) admitSim(ctx context.Context) (func(), error) {
+	if a.sims != nil {
+		select {
+		case a.sims <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	a.inFlight.Add(1)
+	a.total.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.inFlight.Add(-1)
+			if a.sims != nil {
+				<-a.sims
+			}
+		})
+	}, nil
+}
+
+// enterClient admits one request for the client, or reports that the client
+// is at its concurrency limit.
+func (a *admission) enterClient(id string) bool {
+	if a.perClient <= 0 {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.clients[id] >= a.perClient {
+		return false
+	}
+	a.clients[id]++
+	return true
+}
+
+// leaveClient releases the request's slot.
+func (a *admission) leaveClient(id string) {
+	if a.perClient <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.clients[id] <= 1 {
+		delete(a.clients, id)
+	} else {
+		a.clients[id]--
+	}
+}

@@ -1,0 +1,84 @@
+package serve
+
+// Per-endpoint request metrics: cumulative count and error counters plus a
+// sliding window of recent latencies, from which /v1/stats and /metrics
+// report p50/p99. A fixed ring of the last latencyWindow samples keeps the
+// quantiles fresh (they describe recent traffic, not the whole uptime) at
+// constant memory.
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// latencyWindow is the per-endpoint latency ring size.
+const latencyWindow = 512
+
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	count, errors int64
+	lat           [latencyWindow]float64 // milliseconds
+	n, next       int
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointMetrics)}
+}
+
+// observe records one completed request.
+func (m *metrics) observe(name string, d time.Duration, failed bool) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.endpoints[name]
+	if e == nil {
+		e = &endpointMetrics{}
+		m.endpoints[name] = e
+	}
+	e.count++
+	if failed {
+		e.errors++
+	}
+	e.lat[e.next] = ms
+	e.next = (e.next + 1) % latencyWindow
+	if e.n < latencyWindow {
+		e.n++
+	}
+}
+
+type endpointSnapshot struct {
+	name          string
+	count, errors int64
+	p50, p99      float64 // milliseconds, over the recent window
+}
+
+// snapshot returns per-endpoint statistics sorted by endpoint name, so the
+// rendered output is deterministic for a given traffic history.
+func (m *metrics) snapshot() []endpointSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]endpointSnapshot, 0, len(names))
+	for _, name := range names {
+		e := m.endpoints[name]
+		window := e.lat[:e.n]
+		out = append(out, endpointSnapshot{
+			name:  name,
+			count: e.count, errors: e.errors,
+			p50: stats.Quantile(window, 0.50),
+			p99: stats.Quantile(window, 0.99),
+		})
+	}
+	return out
+}

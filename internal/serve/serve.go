@@ -1,0 +1,501 @@
+// Package serve exposes the simulator over HTTP/JSON: contention resolution
+// as a service. It is pure composition of the public repro API — the strict
+// wire codec (repro.ScenarioSpec), the content-addressed Store with its
+// singleflight path, and Engine grids over the shared worker pool — plus
+// the admission and observability machinery a real service needs.
+//
+// Endpoints:
+//
+//	POST /v1/run        one (scenario, seed) cell; cache-backed, singleflight
+//	POST /v1/sweep      scenario grid × seeds, streamed as NDJSON cells in
+//	                    Engine.Sweep's stable order
+//	POST /v1/aggregate  grid × seeds × metric names → Report JSON
+//	GET  /v1/stats      store hit rate, in-flight simulations, per-endpoint
+//	                    request counts and latency quantiles (JSON)
+//	GET  /metrics       the same counters in Prometheus text format
+//
+// Admission: a global in-flight simulation budget (Config.MaxSims) gates
+// simulator invocations through Engine.Admit — cache hits and singleflight
+// followers spend nothing, so warm traffic is never throttled — and a
+// per-client concurrent-request limit (Config.PerClient) rejects floods
+// with 429 before any work starts. Client disconnects cancel the request
+// context, which stops the underlying sweep at the next cell boundary:
+// abandoned requests stop simulating.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro"
+)
+
+// maxBodyBytes bounds request bodies; grids are index-sized (a thousand
+// scenarios is ~100 KB), so 8 MB is generous without inviting abuse.
+const maxBodyBytes = 8 << 20
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store, when non-nil, backs every cell with the content-addressed
+	// result cache (replay hits, write misses through, collapse duplicate
+	// in-flight cells). A nil Store serves uncached.
+	Store *repro.Store
+	// Workers caps each request's sweep parallelism (0 = GOMAXPROCS).
+	Workers int
+	// MaxSims is the global in-flight simulation budget across all
+	// requests; 0 means unlimited. Cells past the budget wait (honoring
+	// request cancellation), they are not rejected.
+	MaxSims int
+	// PerClient caps concurrent requests per client (X-Client header, or
+	// the remote address); 0 means unlimited. Excess requests get 429.
+	PerClient int
+	// MaxCells caps the grid size (scenarios × seeds) of one sweep or
+	// aggregate request; 0 means unlimited. Oversized grids get 413.
+	MaxCells int
+}
+
+// Server is the HTTP serving layer over one Engine + Store.
+type Server struct {
+	cfg Config
+	eng *repro.Engine
+	adm *admission
+	met *metrics
+	mux *http.ServeMux
+}
+
+// New builds a Server; its Handler serves the endpoints above.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg: cfg,
+		adm: newAdmission(cfg.MaxSims, cfg.PerClient),
+		met: newMetrics(),
+	}
+	s.eng = &repro.Engine{Workers: cfg.Workers, Store: cfg.Store, Admit: s.adm.admitSim}
+	s.mux = http.NewServeMux()
+	s.mux.Handle("POST /v1/run", s.endpoint("run", s.handleRun))
+	s.mux.Handle("POST /v1/sweep", s.endpoint("sweep", s.handleSweep))
+	s.mux.Handle("POST /v1/aggregate", s.endpoint("aggregate", s.handleAggregate))
+	s.mux.Handle("GET /v1/stats", s.endpoint("stats", s.handleStats))
+	s.mux.Handle("GET /metrics", s.endpoint("metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// clientID identifies the requesting client for per-client admission: the
+// X-Client header when set (load generators and SDKs set it), otherwise the
+// remote host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// endpoint wraps a handler with per-client admission and request metrics.
+// Handlers write their own responses and return a non-nil error only to
+// count the request as failed.
+func (s *Server) endpoint(name string, h func(http.ResponseWriter, *http.Request) error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		client := clientID(r)
+		if !s.adm.enterClient(client) {
+			s.met.observe(name, time.Since(start), true)
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("client %q exceeds the per-client concurrency limit (%d)", client, s.cfg.PerClient))
+			return
+		}
+		err := h(w, r)
+		s.adm.leaveClient(client)
+		s.met.observe(name, time.Since(start), err != nil)
+	})
+}
+
+// writeError emits the uniform JSON error body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+// writeJSON emits one JSON response value.
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// decodeJSON strictly decodes one bounded JSON request body: unknown fields
+// (at any nesting level, ScenarioSpecs included) and trailing data are
+// errors, matching repro.DecodeScenarioSpec's contract.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}
+
+// scenarios resolves a request's specs into validated Scenarios, labelling
+// failures with their index.
+func scenarios(specs []repro.ScenarioSpec) ([]repro.Scenario, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("request needs at least one scenario")
+	}
+	out := make([]repro.Scenario, len(specs))
+	for i, sp := range specs {
+		s, err := sp.Scenario()
+		if err != nil {
+			return nil, fmt.Errorf("scenarios[%d]: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// checkGrid enforces the per-request cell cap.
+func (s *Server) checkGrid(nScenarios, trials int) error {
+	if trials == 0 {
+		return errors.New("request needs at least one seed")
+	}
+	if cells := nScenarios * trials; s.cfg.MaxCells > 0 && cells > s.cfg.MaxCells {
+		return fmt.Errorf("grid has %d cells, over the per-request limit of %d", cells, s.cfg.MaxCells)
+	}
+	return nil
+}
+
+// --- POST /v1/run -----------------------------------------------------------
+
+type runRequest struct {
+	Scenario repro.ScenarioSpec `json:"scenario"`
+	Seed     uint64             `json:"seed"`
+}
+
+type runResponse struct {
+	// Fingerprint is the scenario's content address — the cache key the
+	// result is stored under; omitted for uncacheable scenarios.
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Seed        uint64        `json:"seed"`
+	Result      *repro.Result `json:"result"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) error {
+	var req runRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return err
+	}
+	sc, err := req.Scenario.Scenario()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return err
+	}
+	// RunMany of one scenario is the cache-backed singleflight path (a
+	// direct Engine.Run would bypass the store).
+	results, err := s.eng.RunMany(r.Context(), []repro.Scenario{sc.WithOptions(repro.WithSeed(req.Seed))})
+	if err != nil {
+		if r.Context().Err() != nil {
+			return err // client gone; nothing to write
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return err
+	}
+	fp, _ := sc.Fingerprint()
+	return writeJSON(w, runResponse{Fingerprint: fp, Seed: req.Seed, Result: &results[0]})
+}
+
+// --- POST /v1/sweep ---------------------------------------------------------
+
+type sweepRequest struct {
+	Scenarios []repro.ScenarioSpec `json:"scenarios"`
+	Seeds     []uint64             `json:"seeds"`
+}
+
+// cellWire is one NDJSON line of a sweep response: the cell's grid position
+// and seed, then either the Result (the store's record payload, Go field
+// names, schema-versioned by the fingerprint's "v1") or the cell error.
+type cellWire struct {
+	Scenario int           `json:"scenario"`
+	Trial    int           `json:"trial"`
+	Seed     uint64        `json:"seed"`
+	Result   *repro.Result `json:"result,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// EncodeCell renders one sweep cell as its NDJSON line (trailing newline
+// included). The encoding is deterministic — equal cells encode to equal
+// bytes — so a warm sweep response is byte-identical to the cold one that
+// populated the store, and to a direct Engine.Sweep encoded the same way.
+func EncodeCell(c repro.Cell) ([]byte, error) {
+	cw := cellWire{Scenario: c.ScenarioIndex, Trial: c.SeedIndex, Seed: c.Seed}
+	if c.Err != nil {
+		cw.Error = c.Err.Error()
+	} else {
+		cw.Result = &c.Result
+	}
+	b, err := json.Marshal(cw)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
+	var req sweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return err
+	}
+	grid, err := scenarios(req.Scenarios)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return err
+	}
+	if err := s.checkGrid(len(grid), len(req.Seeds)); err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return err
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	// r.Context() is cancelled when the client disconnects; the sweep then
+	// stops at the next cell boundary and this range ends early — an
+	// abandoned request stops simulating instead of running the grid out.
+	for cell := range s.eng.Sweep(r.Context(), grid, req.Seeds) {
+		line, err := EncodeCell(cell)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	return r.Context().Err()
+}
+
+// --- POST /v1/aggregate -----------------------------------------------------
+
+type aggregateRequest struct {
+	Scenarios []repro.ScenarioSpec `json:"scenarios"`
+	Seeds     []uint64             `json:"seeds"`
+	// Metrics names the report columns; see repro.MetricNames.
+	Metrics []string `json:"metrics"`
+}
+
+type reportWire struct {
+	Metrics []string        `json:"metrics"`
+	Rows    []reportRowWire `json:"rows"`
+}
+
+type reportRowWire struct {
+	Scenario  string        `json:"scenario"`
+	N         int           `json:"n"`
+	Failed    int           `json:"failed,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Summaries []summaryWire `json:"summaries"`
+}
+
+type summaryWire struct {
+	Median   any `json:"median"`
+	CILo     any `json:"ci_lo"`
+	CIHi     any `json:"ci_hi"`
+	Mean     any `json:"mean"`
+	Trials   int `json:"trials"`
+	Outliers int `json:"outliers"`
+}
+
+// wireFloat maps NaN and infinities to null, which JSON cannot carry as
+// numbers; a not-applicable metric stays visibly null instead of failing
+// the whole response.
+func wireFloat(v float64) any {
+	if v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308 {
+		return nil
+	}
+	return v
+}
+
+// EncodeReport renders an aggregated report as its wire form.
+func EncodeReport(rep *repro.Report) reportWire {
+	out := reportWire{Metrics: rep.Metrics, Rows: make([]reportRowWire, 0, len(rep.Rows))}
+	if out.Metrics == nil {
+		out.Metrics = []string{}
+	}
+	for _, row := range rep.Rows {
+		rw := reportRowWire{Scenario: row.Label, N: row.Scenario.N, Failed: row.Failed}
+		if row.Err != nil {
+			rw.Error = row.Err.Error()
+		}
+		for _, p := range row.Summaries {
+			rw.Summaries = append(rw.Summaries, summaryWire{
+				Median: wireFloat(p.Median), CILo: wireFloat(p.CI95Lo), CIHi: wireFloat(p.CI95Hi),
+				Mean: wireFloat(p.Mean), Trials: p.Trials, Outliers: p.Outliers,
+			})
+		}
+		out.Rows = append(out.Rows, rw)
+	}
+	return out
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) error {
+	var req aggregateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return err
+	}
+	grid, err := scenarios(req.Scenarios)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return err
+	}
+	if err := s.checkGrid(len(grid), len(req.Seeds)); err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return err
+	}
+	if len(req.Metrics) == 0 {
+		err := errors.New("request needs at least one metric")
+		writeError(w, http.StatusBadRequest, err)
+		return err
+	}
+	metrics := make([]repro.Metric, len(req.Metrics))
+	for i, name := range req.Metrics {
+		m, ok := repro.MetricByName(name)
+		if !ok {
+			err := fmt.Errorf("unknown metric %q (want one of %v)", name, repro.MetricNames())
+			writeError(w, http.StatusBadRequest, err)
+			return err
+		}
+		metrics[i] = m
+	}
+
+	rep, aggErr := s.eng.Aggregate(r.Context(), grid, req.Seeds, metrics...)
+	if rep == nil {
+		if r.Context().Err() != nil {
+			return aggErr
+		}
+		writeError(w, http.StatusInternalServerError, aggErr)
+		return aggErr
+	}
+	// Cell-level failures are reported inline on their rows; the request
+	// itself succeeded.
+	return writeJSON(w, EncodeReport(rep))
+}
+
+// --- GET /v1/stats and /metrics ---------------------------------------------
+
+type statsWire struct {
+	Store     *storeWire     `json:"store,omitempty"`
+	Sims      simsWire       `json:"sims"`
+	Endpoints []endpointWire `json:"endpoints"`
+}
+
+type storeWire struct {
+	Records  int     `json:"records"`
+	Stale    int     `json:"stale"`
+	Corrupt  int     `json:"corrupt"`
+	Bytes    int64   `json:"bytes"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	InFlight int     `json:"in_flight"`
+	HitRate  float64 `json:"hit_rate"`
+	WriteErr string  `json:"write_err,omitempty"`
+}
+
+type simsWire struct {
+	// InFlight is the number of simulations running right now; Total
+	// counts simulator invocations since startup; Budget echoes MaxSims.
+	InFlight int64 `json:"in_flight"`
+	Total    int64 `json:"total"`
+	Budget   int   `json:"budget,omitempty"`
+}
+
+type endpointWire struct {
+	Name   string  `json:"name"`
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// statsSnapshot assembles the current statistics (shared by /v1/stats and
+// /metrics).
+func (s *Server) statsSnapshot() statsWire {
+	out := statsWire{
+		Sims:      simsWire{InFlight: s.adm.inFlight.Load(), Total: s.adm.total.Load(), Budget: s.cfg.MaxSims},
+		Endpoints: []endpointWire{},
+	}
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		sw := &storeWire{
+			Records: st.Records, Stale: st.Stale, Corrupt: st.Corrupt, Bytes: st.Bytes,
+			Hits: st.Hits, Misses: st.Misses, InFlight: st.InFlight,
+		}
+		if served := st.Hits + st.Misses; served > 0 {
+			sw.HitRate = float64(st.Hits) / float64(served)
+		}
+		if st.WriteErr != nil {
+			sw.WriteErr = st.WriteErr.Error()
+		}
+		out.Store = sw
+	}
+	for _, e := range s.met.snapshot() {
+		out.Endpoints = append(out.Endpoints, endpointWire{
+			Name: e.name, Count: e.count, Errors: e.errors, P50MS: e.p50, P99MS: e.p99,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, s.statsSnapshot())
+}
+
+// handleMetrics renders the same counters in Prometheus text exposition
+// format; endpoint series are emitted in sorted-name order.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
+	snap := s.statsSnapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	if st := snap.Store; st != nil {
+		p("contend_store_records %d\n", st.Records)
+		p("contend_store_bytes %d\n", st.Bytes)
+		p("contend_store_hits_total %d\n", st.Hits)
+		p("contend_store_misses_total %d\n", st.Misses)
+		p("contend_store_inflight %d\n", st.InFlight)
+		p("contend_store_hit_rate %g\n", st.HitRate)
+	}
+	p("contend_sims_inflight %d\n", snap.Sims.InFlight)
+	p("contend_sims_total %d\n", snap.Sims.Total)
+	if snap.Sims.Budget > 0 {
+		p("contend_sims_budget %d\n", snap.Sims.Budget)
+	}
+	for _, e := range snap.Endpoints {
+		p("contend_requests_total{endpoint=%q} %d\n", e.Name, e.Count)
+		p("contend_request_errors_total{endpoint=%q} %d\n", e.Name, e.Errors)
+		p("contend_request_latency_ms{endpoint=%q,quantile=\"0.5\"} %g\n", e.Name, e.P50MS)
+		p("contend_request_latency_ms{endpoint=%q,quantile=\"0.99\"} %g\n", e.Name, e.P99MS)
+	}
+	return err
+}

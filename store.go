@@ -33,6 +33,7 @@ const storeLogName = "results.jsonl"
 // and attach it to an Engine via the Store field or WithStore.
 type Store struct {
 	dir string
+	key string // canonicalized dir, the open-registry entry Close releases
 	log *store.Log
 
 	hits, misses atomic.Int64
@@ -50,20 +51,62 @@ type flight struct {
 	err  error
 }
 
+// openDirs registers every store directory open in this process, so a
+// second OpenStore of the same dir fails instead of silently splitting the
+// singleflight table and hit counters across two handles (cross-process
+// sharing is safe — appends are single lines and replay is last-wins — but
+// two in-process handles would defeat in-flight deduplication). Keys are
+// canonicalized absolute paths; Close deregisters.
+var openDirs struct {
+	sync.Mutex
+	dirs map[string]bool
+}
+
+// canonicalStoreDir resolves dir to the stable identity the open-registry
+// keys on: symlinks evaluated (the directory exists by now), then made
+// absolute.
+func canonicalStoreDir(dir string) (string, error) {
+	resolved, err := filepath.EvalSymlinks(dir)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Abs(resolved)
+}
+
 // OpenStore opens (creating if needed) the result store rooted at dir and
 // replays its record log into the in-memory index. Corrupt interior lines
 // are skipped and counted; a torn final line — the residue of a killed
-// process — is truncated away. The same dir must not be opened twice within
-// one process; across processes, concurrent appends are safe.
+// process — is truncated away. Opening the same dir twice within one
+// process is an error until the first handle is Closed (share the one
+// *Store instead — it is concurrency-safe); across processes, concurrent
+// appends are safe.
 func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("repro: opening store: %w", err)
 	}
-	l, err := store.Open(filepath.Join(dir, storeLogName))
+	key, err := canonicalStoreDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("repro: opening store: %w", err)
 	}
-	return &Store{dir: dir, log: l, inflight: make(map[store.Key]*flight)}, nil
+	openDirs.Lock()
+	if openDirs.dirs[key] {
+		openDirs.Unlock()
+		return nil, fmt.Errorf("repro: store %s is already open in this process; share the open *Store instead", dir)
+	}
+	if openDirs.dirs == nil {
+		openDirs.dirs = make(map[string]bool)
+	}
+	openDirs.dirs[key] = true
+	openDirs.Unlock()
+
+	l, err := store.Open(filepath.Join(dir, storeLogName))
+	if err != nil {
+		openDirs.Lock()
+		delete(openDirs.dirs, key)
+		openDirs.Unlock()
+		return nil, fmt.Errorf("repro: opening store: %w", err)
+	}
+	return &Store{dir: dir, key: key, log: l, inflight: make(map[store.Key]*flight)}, nil
 }
 
 // Dir returns the store's root directory.
@@ -161,6 +204,10 @@ type StoreStats struct {
 	// joined to an in-flight duplicate) since OpenStore; Misses counts
 	// cells it had to simulate. Direct Get/Put calls are not counted.
 	Hits, Misses int64
+	// InFlight is the number of cells currently simulating through this
+	// store (singleflight leaders that have not completed) — the live
+	// gauge a serving layer reports alongside the cumulative counters.
+	InFlight int
 	// WriteErr is the first write-through failure, if any; the affected
 	// cells were served correctly but will be re-simulated next run.
 	WriteErr error
@@ -171,10 +218,11 @@ func (st *Store) Stats() StoreStats {
 	ls := st.log.Stats()
 	st.mu.Lock()
 	werr := st.writeErr
+	inflight := len(st.inflight)
 	st.mu.Unlock()
 	return StoreStats{
 		Records: ls.Records, Stale: ls.Stale, Corrupt: ls.Corrupt, Bytes: ls.Bytes,
-		Hits: st.hits.Load(), Misses: st.misses.Load(), WriteErr: werr,
+		Hits: st.hits.Load(), Misses: st.misses.Load(), InFlight: inflight, WriteErr: werr,
 	}
 }
 
@@ -184,5 +232,11 @@ func (st *Store) Stats() StoreStats {
 // other process has the store open.
 func (st *Store) Compact() error { return st.log.Compact() }
 
-// Close syncs and closes the store. The Store is unusable afterwards.
-func (st *Store) Close() error { return st.log.Close() }
+// Close syncs and closes the store and releases its open-registry slot, so
+// the dir can be opened again. The Store is unusable afterwards.
+func (st *Store) Close() error {
+	openDirs.Lock()
+	delete(openDirs.dirs, st.key)
+	openDirs.Unlock()
+	return st.log.Close()
+}

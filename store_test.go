@@ -6,6 +6,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -419,5 +420,108 @@ func TestStoreCompactPreservesReplay(t *testing.T) {
 	}
 	if !reflect.DeepEqual(cold, warm) {
 		t.Fatal("post-compact cells differ")
+	}
+}
+
+// --- Open registry ----------------------------------------------------------
+
+// TestOpenStoreRegistry enforces the documented invariant: one process, one
+// handle per store directory. A second OpenStore of the same dir (under any
+// spelling of the path) fails until the first handle is closed.
+func TestOpenStoreRegistry(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); err == nil {
+		t.Fatal("second OpenStore of the same dir succeeded")
+	}
+	// An alias of the same directory is the same store.
+	alias := filepath.Join(dir, "..", filepath.Base(dir))
+	if _, err := OpenStore(alias); err == nil {
+		t.Fatalf("OpenStore of alias %s succeeded while %s is open", alias, dir)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after Close failed: %v", err)
+	}
+	defer st2.Close()
+	// A different directory is unaffected.
+	other, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+}
+
+// --- Engine.Admit -----------------------------------------------------------
+
+// TestAdmitGatesSimulationsOnly asserts the admission contract: Admit is
+// called exactly once per simulator invocation — cold cells admit, store
+// replays and singleflight followers do not — and its error fails the cell.
+func TestAdmitGatesSimulationsOnly(t *testing.T) {
+	var runs, admits atomic.Int64
+	grid := storeGrid(countingModel{WiFi(), &runs}, countingModel{Abstract(), &runs})
+	seeds := SequentialSeeds(3, 2)
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	eng := Engine{Store: st, Admit: func(ctx context.Context) (func(), error) {
+		admits.Add(1)
+		return func() {}, nil
+	}}
+
+	cold := drain(t, eng.Sweep(context.Background(), grid, seeds))
+	cells := int64(len(grid) * len(seeds))
+	if admits.Load() != cells || runs.Load() != cells {
+		t.Fatalf("cold sweep: admits=%d runs=%d, want %d each", admits.Load(), runs.Load(), cells)
+	}
+
+	warm := drain(t, eng.Sweep(context.Background(), grid, seeds))
+	if admits.Load() != cells || runs.Load() != cells {
+		t.Fatalf("warm sweep admitted or simulated: admits=%d runs=%d, want %d each", admits.Load(), runs.Load(), cells)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("admitted cells differ from replayed cells")
+	}
+
+	boom := errors.New("budget exhausted")
+	denied := Engine{Admit: func(ctx context.Context) (func(), error) { return nil, boom }}
+	for c := range denied.Sweep(context.Background(), grid[:1], seeds[:1]) {
+		if !errors.Is(c.Err, boom) {
+			t.Fatalf("denied cell error = %v, want %v", c.Err, boom)
+		}
+	}
+}
+
+// TestAdmitBoundsConcurrency runs a wide sweep through a budget-1 Admit
+// hook and asserts no two simulations ever overlap, whatever Workers says.
+func TestAdmitBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	sem := make(chan struct{}, 1)
+	eng := Engine{Workers: 8, Admit: func(ctx context.Context) (func(), error) {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if c := cur.Add(1); c > peak.Load() {
+			peak.Store(c)
+		}
+		return func() {
+			cur.Add(-1)
+			<-sem
+		}, nil
+	}}
+	grid := []Scenario{{Model: Abstract(), Algorithm: MustAlgorithm("BEB"), N: 200}}
+	drain(t, eng.Sweep(context.Background(), grid, SequentialSeeds(1, 16)))
+	if p := peak.Load(); p != 1 {
+		t.Fatalf("peak concurrent simulations = %d, want 1", p)
 	}
 }

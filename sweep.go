@@ -160,7 +160,16 @@ func (e *Engine) fingerprints(scenarios []Scenario) []string {
 // miss, deduplicated against identical in-flight cells. Replayed cells are
 // bit-identical to simulated ones, so callers cannot tell the difference.
 func (e *Engine) runCell(ctx context.Context, s Scenario, seed uint64, fp string) (Result, error) {
-	run := func() (Result, error) { return e.Run(ctx, s.WithOptions(WithSeed(seed))) }
+	run := func() (Result, error) {
+		if e.Admit != nil {
+			release, err := e.Admit(ctx)
+			if err != nil {
+				return Result{}, err
+			}
+			defer release()
+		}
+		return e.Run(ctx, s.WithOptions(WithSeed(seed)))
+	}
 	if e.Store == nil || fp == "" {
 		return run()
 	}
