@@ -49,8 +49,8 @@ func (ap *accessPoint) TxDone(*phy.Tx, event.Time) {}
 
 // FrameEnd implements phy.Listener.
 func (ap *accessPoint) FrameEnd(tx *phy.Tx, ok bool, now event.Time) {
-	f, isFrame := tx.Data.(Frame)
-	if !isFrame || f.Dst != APIndex {
+	f := FrameFromPayload(tx.Payload)
+	if f.Dst != APIndex {
 		return
 	}
 	if f.Kind == FrameDummy {
@@ -92,7 +92,7 @@ func handleApResp(now event.Time, arg any) { arg.(*accessPoint).onSifsResp(now) 
 func (ap *accessPoint) onSifsResp(event.Time) {
 	ap.respPending = false
 	tx := ap.sim.medium.Transmit(ap.node, ap.sim.cfg.ControlRate, ap.respBytes,
-		Frame{Kind: ap.respKind, Src: APIndex, Dst: ap.respDst})
+		Frame{Kind: ap.respKind, Src: APIndex, Dst: ap.respDst}.Payload())
 	if ap.sim.tracer != nil {
 		ap.sim.tracer.TxStart(APIndex, ap.respKind, time.Duration(tx.Start), time.Duration(tx.End))
 	}

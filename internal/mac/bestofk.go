@@ -99,7 +99,7 @@ func RunBestOfK(cfg Config, bok BestOfKConfig, n int, g *rng.Source, tracer Trac
 	}
 	probes := make([]*probe, n)
 	for i := range probes {
-		probes[i] = &probe{g: g.Derive(fmt.Sprintf("probe-%d", i))}
+		probes[i] = &probe{g: g.DeriveIndexed("probe-", i)}
 	}
 	out := BestOfKResult{EstimationTime: bok.PhaseDuration()}
 
@@ -121,7 +121,7 @@ func RunBestOfK(cfg Config, bok BestOfKConfig, n int, g *rng.Source, tracer Trac
 					sentCount++
 					out.ProbesSent++
 					tx := medium.Transmit(nodes[i], cfg.DataRate, bok.DummyBytes,
-						Frame{Kind: FrameDummy, Src: i, Dst: APIndex})
+						Frame{Kind: FrameDummy, Src: i, Dst: APIndex}.Payload())
 					if tracer != nil {
 						tracer.TxStart(i, FrameDummy, time.Duration(tx.Start), time.Duration(tx.End))
 					}
@@ -169,7 +169,7 @@ func RunBestOfK(cfg Config, bok BestOfKConfig, n int, g *rng.Source, tracer Trac
 				idx:  i,
 				sim:  m,
 				pol:  pol,
-				g:    g.Derive(fmt.Sprintf("station-%d", i)),
+				g:    g.DeriveIndexed("station-", i),
 				node: nodes[i],
 			}
 			medium.SetListener(nodes[i], st)

@@ -1,7 +1,6 @@
 package mac
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
@@ -67,7 +66,7 @@ func RunContinuous(cfg Config, n int, f backoff.Factory, proc traffic.Process,
 	perStationCap := int(horizon/cfg.MinPerPacketTime()) + 2
 	offered := 0
 	for i, st := range m.sts {
-		ga := g.Derive(fmt.Sprintf("arrivals-%d", i))
+		ga := g.DeriveIndexed("arrivals-", i)
 		arrivals := traffic.Arrivals(proc, horizon, perStationCap, ga)
 		offered += len(arrivals)
 		for _, at := range arrivals {

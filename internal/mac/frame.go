@@ -1,6 +1,10 @@
 package mac
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/phy"
+)
 
 // FrameKind distinguishes the four MAC frame types on the air.
 type FrameKind int
@@ -42,6 +46,19 @@ type Frame struct {
 
 // APIndex addresses the access point in Frame.Src/Dst.
 const APIndex = -1
+
+// Payload maps the frame into the PHY's typed payload. The mapping is a
+// field-for-field value copy — no interface boxing, which is what lets a
+// steady-state transmission through phy.Medium.Transmit allocate nothing.
+func (f Frame) Payload() phy.Payload {
+	return phy.Payload{Kind: int(f.Kind), Src: f.Src, Dst: f.Dst}
+}
+
+// FrameFromPayload recovers the MAC frame a transmission carried. It is the
+// inverse of Frame.Payload.
+func FrameFromPayload(p phy.Payload) Frame {
+	return Frame{Kind: FrameKind(p.Kind), Src: p.Src, Dst: p.Dst}
+}
 
 // Tracer observes per-station MAC events; the trace package renders them
 // into the paper's Figure 13 timeline. A nil Tracer disables tracing.

@@ -299,7 +299,7 @@ func newSim(cfg Config, positions []phy.Position, f backoff.Factory, g *rng.Sour
 			idx: i,
 			sim: m,
 			pol: pol,
-			g:   g.Derive(fmt.Sprintf("station-%d", i)),
+			g:   g.DeriveIndexed("station-", i),
 		}
 		st.node = medium.AddNode(positions[i], st)
 		m.sts[i] = st

@@ -253,7 +253,7 @@ func (s *station) transmitFrame(now event.Time, kind FrameKind) {
 	default:
 		panic(fmt.Sprintf("mac: station transmitting %v", kind))
 	}
-	tx := s.sim.medium.Transmit(s.node, rate, bytes, Frame{Kind: kind, Src: s.idx, Dst: APIndex})
+	tx := s.sim.medium.Transmit(s.node, rate, bytes, Frame{Kind: kind, Src: s.idx, Dst: APIndex}.Payload())
 	if s.sim.tracer != nil {
 		s.sim.tracer.TxStart(s.idx, kind, time.Duration(tx.Start), time.Duration(tx.End))
 	}
@@ -337,8 +337,8 @@ func (s *station) FrameEnd(tx *phy.Tx, ok bool, now event.Time) {
 	if !ok {
 		return
 	}
-	f, isFrame := tx.Data.(Frame)
-	if !isFrame || f.Dst != s.idx {
+	f := FrameFromPayload(tx.Payload)
+	if f.Dst != s.idx {
 		return
 	}
 	switch f.Kind {

@@ -7,13 +7,16 @@ import (
 	"repro/internal/event"
 )
 
-// txDoneListener records TxDone callbacks.
+// txDoneListener counts TxDone callbacks. It deliberately does not keep the
+// *Tx handles: they are only valid during the callback (the medium recycles
+// them after), and the tests that inspect a transmission past the run Retain
+// their own handle at Transmit time.
 type txDoneListener struct {
 	testListener
-	done []*Tx
+	done int
 }
 
-func (l *txDoneListener) TxDone(tx *Tx, _ event.Time) { l.done = append(l.done, tx) }
+func (l *txDoneListener) TxDone(*Tx, event.Time) { l.done++ }
 
 func abortMedium(after time.Duration) (*event.Scheduler, *Medium) {
 	sched := &event.Scheduler{}
@@ -32,8 +35,12 @@ func TestAbortTruncatesOverlappingFrames(t *testing.T) {
 	n1 := m.AddNode(ps[1], l1)
 
 	full := FrameDuration(Rate54Mbps, 1088)
-	tx0 := m.Transmit(n0, Rate54Mbps, 1088, "a")
-	tx1 := m.Transmit(n1, Rate54Mbps, 1088, "b")
+	tx0 := m.Transmit(n0, Rate54Mbps, 1088, Payload{Src: 0})
+	tx0.Retain()
+	defer tx0.Release()
+	tx1 := m.Transmit(n1, Rate54Mbps, 1088, Payload{Src: 1})
+	tx1.Retain()
+	defer tx1.Release()
 	sched.Run(0)
 
 	for i, tx := range []*Tx{tx0, tx1} {
@@ -44,8 +51,8 @@ func TestAbortTruncatesOverlappingFrames(t *testing.T) {
 			t.Fatalf("tx%d duration %v, want 20µs (full frame %v)", i, tx.Duration(), full)
 		}
 	}
-	if len(l0.done) != 1 || len(l1.done) != 1 {
-		t.Fatalf("TxDone counts: %d, %d", len(l0.done), len(l1.done))
+	if l0.done != 1 || l1.done != 1 {
+		t.Fatalf("TxDone counts: %d, %d", l0.done, l1.done)
 	}
 	for _, ok := range apL.frames {
 		if ok {
@@ -61,12 +68,16 @@ func TestAbortLateOverlapTruncatesFromOverlapStart(t *testing.T) {
 	n0 := m.AddNode(ps[0], &txDoneListener{})
 	n1 := m.AddNode(ps[1], &txDoneListener{})
 
-	tx0 := m.Transmit(n0, Rate54Mbps, 1088, "long")
+	tx0 := m.Transmit(n0, Rate54Mbps, 1088, Payload{Src: 0})
+	tx0.Retain()
+	defer tx0.Release()
 	var tx1 *Tx
 	sched.Schedule(50*time.Microsecond, func(event.Time) {
-		tx1 = m.Transmit(n1, Rate54Mbps, 128, "late")
+		tx1 = m.Transmit(n1, Rate54Mbps, 128, Payload{Src: 1})
+		tx1.Retain()
 	})
 	sched.Run(0)
+	defer tx1.Release()
 
 	// The first frame ran 50µs alone, then 20µs of overlap: 70µs total.
 	if tx0.Duration() != 70*time.Microsecond {
@@ -83,7 +94,9 @@ func TestNoAbortWithoutOverlap(t *testing.T) {
 	m.AddNode(APPosition(), apL)
 	st := m.AddNode(Position{0, 0}, &txDoneListener{})
 
-	tx := m.Transmit(st, Rate54Mbps, 128, "solo")
+	tx := m.Transmit(st, Rate54Mbps, 128, Payload{Src: st.ID})
+	tx.Retain()
+	defer tx.Release()
 	sched.Run(0)
 	if tx.Aborted() {
 		t.Fatal("solo frame aborted")
@@ -99,8 +112,10 @@ func TestAbortDisabledByDefault(t *testing.T) {
 	ps := StationGrid(2)
 	n0 := m.AddNode(ps[0], &testListener{})
 	n1 := m.AddNode(ps[1], &testListener{})
-	tx0 := m.Transmit(n0, Rate54Mbps, 128, "a")
-	m.Transmit(n1, Rate54Mbps, 128, "b")
+	tx0 := m.Transmit(n0, Rate54Mbps, 128, Payload{Src: 0})
+	tx0.Retain()
+	defer tx0.Release()
+	m.Transmit(n1, Rate54Mbps, 128, Payload{Src: 1})
 	sched.Run(0)
 	if tx0.Aborted() {
 		t.Fatal("abort triggered with AbortOverlapAfter = 0")
@@ -116,8 +131,8 @@ func TestAbortAirtimeAccounting(t *testing.T) {
 	ps := StationGrid(2)
 	n0 := m.AddNode(ps[0], &txDoneListener{})
 	n1 := m.AddNode(ps[1], &txDoneListener{})
-	m.Transmit(n0, Rate54Mbps, 1088, "a")
-	m.Transmit(n1, Rate54Mbps, 1088, "b")
+	m.Transmit(n0, Rate54Mbps, 1088, Payload{Src: 0})
+	m.Transmit(n1, Rate54Mbps, 1088, Payload{Src: 1})
 	sched.Run(0)
 	if got := time.Duration(m.TotalAirNs); got != 40*time.Microsecond {
 		t.Fatalf("TotalAir %v, want 40µs (two 20µs aborts)", got)

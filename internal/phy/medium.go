@@ -16,14 +16,18 @@ type Listener interface {
 	ChannelBusy(now event.Time)
 	// ChannelIdle fires when the last heard transmission ends.
 	ChannelIdle(now event.Time)
-	// FrameEnd fires at the end of every transmission heard by this node
-	// (src excluded). ok reports whether the frame decoded at this node:
-	// received power above the noise-limited threshold and SINR at or above
-	// the rate's minimum for the frame's entire duration.
+	// FrameEnd fires at the end of every transmission this node can hear —
+	// received power at or above the carrier-sense threshold; src excluded.
+	// ok reports whether the frame decoded at this node: received power
+	// above the noise-limited threshold and SINR at or above the rate's
+	// minimum for the frame's entire duration. The tx handle is valid only
+	// until the callback returns (see the Tx lifetime contract); call
+	// tx.Retain to hold it longer.
 	FrameEnd(tx *Tx, ok bool, now event.Time)
 	// TxDone fires on the transmitting node when its own transmission ends,
 	// at the frame's natural end or earlier if it was aborted (see
-	// Config.AbortOverlapAfter).
+	// Config.AbortOverlapAfter). The same lifetime contract as FrameEnd
+	// applies to the tx handle.
 	TxDone(tx *Tx, now event.Time)
 }
 
@@ -66,29 +70,89 @@ func DefaultConfig() Config {
 	}
 }
 
-// Tx is one transmission on the medium.
-type Tx struct {
-	Src   *Node
-	Rate  Rate
-	Bytes int // PSDU length in octets
-	Start event.Time
-	End   event.Time
-	Data  any // opaque MAC frame
+// Payload is the typed MAC-level content of a transmission. The PHY carries
+// it opaquely: Kind is a MAC-defined frame-kind code, Src and Dst are
+// MAC-level addresses (not phy.Node IDs). Being a small value struct rather
+// than the old `Data any` field, it copies into and out of a pooled Tx as
+// three machine words — no interface boxing, no per-frame heap allocation.
+type Payload struct {
+	Kind     int
+	Src, Dst int
+}
 
-	interferers []*Tx // transmissions overlapping [Start, End)
+// Tx is one transmission on the medium.
+//
+// # Lifetime contract
+//
+// A Tx is owned by its Medium: Transmit draws it from a pool and the medium
+// recycles it after the transmission's final listener callback (the last
+// FrameEnd / TxDone for that frame) returns and every overlapping
+// transmission that reads it has itself ended. Holding the handle past that
+// point — in a test, a tracer, any long-lived structure — requires
+// Retain(), and each Retain must be paired with a Release() that lets the
+// object return to the pool. Using a handle after its release panics on
+// every method when the object is still in the pool; Medium.CheckTxReuse
+// makes the panic deterministic (released objects are quarantined, never
+// reused) at the cost of one allocation per transmission.
+type Tx struct {
+	Src     *Node
+	Rate    Rate
+	Bytes   int // PSDU length in octets
+	Start   event.Time
+	End     event.Time
+	Payload Payload // typed MAC frame content
+
+	m           *Medium
+	refs        int  // medium's own ref + one per overlapping Tx + user Retains
+	released    bool // true while the object sits in the pool (or quarantine)
+	activeIdx   int  // index in m.active while on the air, -1 otherwise
+	interferers []*Tx
 	endEv       *event.Event
 	aborted     bool
 }
 
+// Retain adds a reference so the handle stays valid — the object will not be
+// recycled for another transmission — until a matching Release.
+func (t *Tx) Retain() {
+	t.checkLive("Retain")
+	t.refs++
+}
+
+// Release drops a reference taken by Retain. When the last reference drops
+// the object returns to the medium's pool and the handle becomes invalid.
+func (t *Tx) Release() {
+	t.checkLive("Release")
+	t.refs--
+	if t.refs < 0 {
+		panic("phy: Tx.Release without a matching Retain")
+	}
+	if t.refs == 0 {
+		t.m.recycleTx(t)
+	}
+}
+
+// checkLive panics when the handle outlived its transmission without a
+// Retain. It catches stale handles while the object is pooled; under
+// Medium.CheckTxReuse released objects are never reused, so every
+// use-after-release is caught.
+func (t *Tx) checkLive(op string) {
+	if t.released {
+		panic(fmt.Sprintf("phy: Tx.%s on a released Tx (Retain the handle to use it past FrameEnd/TxDone)", op))
+	}
+}
+
 // Aborted reports whether the transmission was cut short by overlap
 // detection (Config.AbortOverlapAfter).
-func (t *Tx) Aborted() bool { return t.aborted }
+func (t *Tx) Aborted() bool { t.checkLive("Aborted"); return t.aborted }
 
 // Duration returns the on-air duration of the transmission.
-func (t *Tx) Duration() time.Duration { return time.Duration(t.End - t.Start) }
+func (t *Tx) Duration() time.Duration {
+	t.checkLive("Duration")
+	return time.Duration(t.End - t.Start)
+}
 
 // InterfererCount returns how many other transmissions overlapped this one.
-func (t *Tx) InterfererCount() int { return len(t.interferers) }
+func (t *Tx) InterfererCount() int { t.checkLive("InterfererCount"); return len(t.interferers) }
 
 // Node is a radio attached to the medium.
 type Node struct {
@@ -116,14 +180,33 @@ type Medium struct {
 	nodes  []*Node
 	active []*Tx
 
+	// CheckTxReuse, set before the first Transmit, turns the Tx pool into
+	// a use-after-release detector: released objects are poisoned and
+	// quarantined instead of reused, so any stale handle panics (via the
+	// method checks) or reads absurd values (fields) deterministically.
+	// It costs one allocation per transmission and exists for tests and
+	// debugging; it deliberately lives here and not in Config, which is
+	// part of the scenario fingerprint surface — a debug knob must not
+	// change result addresses.
+	CheckTxReuse bool
+
 	// rxMw[i][j] caches the linear received power (mW) at node j for a
 	// transmission from node i, folding the constant transmit power into
 	// the path-loss gain. Reception decisions run once per (frame,
 	// receiver) and interference sweeps once per (frame, receiver,
 	// interferer), so the dBm-to-mW conversions here must not be
 	// recomputed per call — math.Pow was >80% of the simulator's CPU
-	// profile before this matrix and the threshold caches below.
+	// profile before this matrix and the threshold caches below. Rows
+	// share one flat backing array: one allocation instead of n.
 	rxMw [][]float64
+
+	// aud[i] lists the nodes that can hear node i — received power at or
+	// above the carrier-sense threshold — in node-ID order, precomputed
+	// with the gain matrix. Carrier-sense edges and FrameEnd delivery
+	// iterate these sets instead of all n nodes, which is what keeps
+	// per-transmission work proportional to the audible population in
+	// large, sparse topologies. Rows share one flat backing array.
+	aud [][]*Node
 
 	// csMw and noiseMw cache the carrier-sense and noise-floor thresholds
 	// in linear milliwatts (cfg is immutable after NewMedium).
@@ -131,6 +214,12 @@ type Medium struct {
 
 	// lossRand drives random frame loss (nil when FrameLossProb == 0).
 	lossRand *rng.Source
+
+	// txFree is the Tx pool: endTx returns fully-released objects here
+	// with their interferers capacity intact, Transmit draws from it, so
+	// a steady-state transmission allocates nothing. Confined, like the
+	// whole Medium, to the single simulation goroutine.
+	txFree []*Tx
 
 	// deliv and pts are scratch buffers reused across endTx calls, so a
 	// frame end allocates nothing in steady state. Safe because a
@@ -156,7 +245,7 @@ type delivery struct {
 // nothing per event.
 func handleTxEnd(now event.Time, arg any) {
 	tx := arg.(*Tx)
-	tx.Src.medium.endTx(tx, now)
+	tx.m.endTx(tx, now)
 }
 
 // NewMedium creates a medium using the given scheduler and radio config.
@@ -184,7 +273,8 @@ func (m *Medium) Config() Config { return m.cfg }
 func (m *Medium) AddNode(pos Position, l Listener) *Node {
 	n := &Node{ID: len(m.nodes), Pos: pos, medium: m, listener: l}
 	m.nodes = append(m.nodes, n)
-	m.rxMw = nil // invalidate cache
+	m.rxMw = nil // invalidate gain and audible-set caches
+	m.aud = nil
 	return n
 }
 
@@ -195,12 +285,16 @@ func (m *Medium) SetListener(n *Node, l Listener) { n.listener = l }
 // Nodes returns the attached nodes.
 func (m *Medium) Nodes() []*Node { return m.nodes }
 
+// buildGains fills the received-power matrix and the per-source audible
+// sets. Positions and config are immutable once transmissions start, so
+// both are exact for the whole run.
 func (m *Medium) buildGains() {
 	k := len(m.nodes)
 	txMw := m.cfg.TxPower.MilliWatt()
+	flat := make([]float64, k*k)
 	m.rxMw = make([][]float64, k)
 	for i := range m.rxMw {
-		m.rxMw[i] = make([]float64, k)
+		m.rxMw[i] = flat[i*k : (i+1)*k : (i+1)*k]
 		for j := range m.rxMw[i] {
 			if i == j {
 				continue
@@ -208,6 +302,24 @@ func (m *Medium) buildGains() {
 			d := m.nodes[i].Pos.DistanceTo(m.nodes[j].Pos)
 			m.rxMw[i][j] = txMw * DB(-m.cfg.PathLoss.Loss(d)).Ratio()
 		}
+	}
+	// Audible sets, in node-ID order (which keeps callback order identical
+	// to the old all-nodes scans). Appending to one flat slice and
+	// re-slicing afterwards gives n rows for O(1) allocations.
+	offsets := make([]int, k+1)
+	var audFlat []*Node
+	for i := 0; i < k; i++ {
+		row := m.rxMw[i]
+		for j := 0; j < k; j++ {
+			if row[j] >= m.csMw {
+				audFlat = append(audFlat, m.nodes[j])
+			}
+		}
+		offsets[i+1] = len(audFlat)
+	}
+	m.aud = make([][]*Node, k)
+	for i := range m.aud {
+		m.aud[i] = audFlat[offsets[i]:offsets[i+1]:offsets[i+1]]
 	}
 }
 
@@ -220,27 +332,83 @@ func (m *Medium) rxPowerMw(src, dst *Node) float64 {
 	return m.rxMw[src.ID][dst.ID]
 }
 
+// audibleFrom returns the nodes that can carrier-sense a transmission from
+// src, excluding src itself, in node-ID order.
+func (m *Medium) audibleFrom(src *Node) []*Node {
+	if m.aud == nil {
+		m.buildGains()
+	}
+	return m.aud[src.ID]
+}
+
 // RxPower returns the received power at dst for a transmission from src.
 func (m *Medium) RxPower(src, dst *Node) DBm {
 	return DBmFromMilliWatt(m.rxPowerMw(src, dst))
 }
 
+// allocTx draws a recycled Tx from the pool (or the heap allocator on a
+// cold start). The recycled object keeps its interferers capacity, so the
+// mutual-interference bookkeeping in Transmit does not reallocate either.
+func (m *Medium) allocTx() *Tx {
+	if n := len(m.txFree); n > 0 {
+		tx := m.txFree[n-1]
+		m.txFree[n-1] = nil
+		m.txFree = m.txFree[:n-1]
+		tx.released = false
+		return tx
+	}
+	// Cold path: pre-size interferers so warm-up transmissions don't each
+	// pay a grow-append; 8 covers every overlap degree the DCF reaches.
+	return &Tx{m: m, activeIdx: -1, interferers: make([]*Tx, 0, 8)}
+}
+
+// recycleTx clears a fully-released Tx and returns it to the pool. Under
+// CheckTxReuse the object is poisoned and quarantined instead: it is never
+// handed out again, so any later use of the stale handle fails loudly.
+func (m *Medium) recycleTx(t *Tx) {
+	t.released = true
+	t.Src = nil
+	t.Payload = Payload{}
+	t.endEv = nil
+	t.aborted = false
+	t.interferers = t.interferers[:0]
+	if m.CheckTxReuse {
+		t.Start, t.End = -1, -1
+		t.Bytes = -1
+		return
+	}
+	m.txFree = append(m.txFree, t)
+}
+
 // Transmit puts a frame of length bytes at the given rate on the air from
 // src, starting now. The returned Tx ends automatically; listeners get
-// FrameEnd callbacks then. A node cannot transmit twice concurrently.
-func (m *Medium) Transmit(src *Node, rate Rate, bytes int, data any) *Tx {
+// FrameEnd callbacks then. The handle is medium-owned (see the Tx lifetime
+// contract) — Retain it to use it past the frame's callbacks. A node cannot
+// transmit twice concurrently.
+func (m *Medium) Transmit(src *Node, rate Rate, bytes int, p Payload) *Tx {
 	if src.sending {
 		panic(fmt.Sprintf("phy: node %d already transmitting at t=%v", src.ID, m.sched.Now()))
 	}
 	dur := FrameDuration(rate, bytes)
 	now := m.sched.Now()
-	tx := &Tx{Src: src, Rate: rate, Bytes: bytes, Start: now, End: now + dur, Data: data}
+	tx := m.allocTx()
+	tx.Src, tx.Rate, tx.Bytes = src, rate, bytes
+	tx.Start, tx.End = now, now+dur
+	tx.Payload = p
+	tx.refs = 1 // the medium's own reference, dropped at the end of endTx
 
-	// Record mutual interference with everything already on the air.
+	// Record mutual interference with everything already on the air. Each
+	// side holds a reference on the other: a transmission's reception
+	// verdicts read its interferers' fields at its own end, so an
+	// interferer must not be recycled before every transmission it
+	// overlapped has ended.
 	for _, other := range m.active {
 		other.interferers = append(other.interferers, tx)
 		tx.interferers = append(tx.interferers, other)
+		other.refs++
+		tx.refs++
 	}
+	tx.activeIdx = len(m.active)
 	m.active = append(m.active, tx)
 	if len(m.active) > m.PeakOverlap {
 		m.PeakOverlap = len(m.active)
@@ -249,17 +417,11 @@ func (m *Medium) Transmit(src *Node, rate Rate, bytes int, data any) *Tx {
 	m.TotalAirNs += int64(dur)
 	src.sending = true
 
-	// Carrier-sense rising edges at every other node that can hear it.
-	csMw := m.csMw
-	for _, n := range m.nodes {
-		if n == src {
-			continue
-		}
-		if m.rxPowerMw(src, n) >= csMw {
-			n.busyCount++
-			if n.busyCount == 1 && n.listener != nil {
-				n.listener.ChannelBusy(now)
-			}
+	// Carrier-sense rising edges at every node that can hear the source.
+	for _, n := range m.audibleFrom(src) {
+		n.busyCount++
+		if n.busyCount == 1 && n.listener != nil {
+			n.listener.ChannelBusy(now)
 		}
 	}
 
@@ -292,23 +454,31 @@ func (m *Medium) truncate(tx *Tx, at event.Time) {
 }
 
 func (m *Medium) endTx(tx *Tx, now event.Time) {
-	// Remove from the active set.
-	for i, a := range m.active {
-		if a == tx {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
+	// Swap-remove from the active set: O(1) where the old linear scan plus
+	// element shift made a frame end O(active) — quadratic in peak overlap
+	// across an overlap episode. Active-set order is not observable (only
+	// membership is: interference is recorded pairwise at Transmit), so
+	// the swap is free to reorder.
+	last := len(m.active) - 1
+	if i := tx.activeIdx; i != last {
+		m.active[i] = m.active[last]
+		m.active[i].activeIdx = i
 	}
+	m.active[last] = nil
+	m.active = m.active[:last]
+	tx.activeIdx = -1
 	tx.Src.sending = false
 	tx.endEv = nil // fired: the kernel recycles it, drop the stale handle
 
 	// Deliver reception verdicts before idle notifications so that MAC
 	// reactions to the frame (e.g. scheduling a SIFS) observe a consistent
-	// pre-idle state, then drop carrier sense.
-	csMw := m.csMw
+	// pre-idle state, then drop carrier sense. Only nodes that can hear
+	// the source are visited; a node below the carrier-sense threshold
+	// never detected the frame at all, so it gets no FrameEnd.
+	audible := m.audibleFrom(tx.Src)
 	deliveries := m.deliv[:0]
-	for _, n := range m.nodes {
-		if n == tx.Src || n.listener == nil {
+	for _, n := range audible {
+		if n.listener == nil {
 			continue
 		}
 		deliveries = append(deliveries, delivery{n, m.decodes(tx, n)})
@@ -320,17 +490,21 @@ func (m *Medium) endTx(tx *Tx, now event.Time) {
 	if tx.Src.listener != nil {
 		tx.Src.listener.TxDone(tx, now)
 	}
-	for _, n := range m.nodes {
-		if n == tx.Src {
-			continue
-		}
-		if m.rxPowerMw(tx.Src, n) >= csMw {
-			n.busyCount--
-			if n.busyCount == 0 && n.listener != nil {
-				n.listener.ChannelIdle(now)
-			}
+	for _, n := range audible {
+		n.busyCount--
+		if n.busyCount == 0 && n.listener != nil {
+			n.listener.ChannelIdle(now)
 		}
 	}
+
+	// All callbacks for this frame have returned: drop the references this
+	// transmission held on its interferers, then the medium's own. The
+	// object recycles now unless a still-active overlapping transmission
+	// or a Retain'd handle keeps it alive.
+	for _, itx := range tx.interferers {
+		itx.Release()
+	}
+	tx.Release()
 }
 
 // decodes reports whether tx decodes successfully at node n: the node was

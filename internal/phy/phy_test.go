@@ -156,14 +156,12 @@ func TestGridNoCapture(t *testing.T) {
 type testListener struct {
 	busy, idle int
 	frames     []bool
-	lastTx     *Tx
 }
 
 func (l *testListener) ChannelBusy(event.Time) { l.busy++ }
 func (l *testListener) ChannelIdle(event.Time) { l.idle++ }
 func (l *testListener) FrameEnd(tx *Tx, ok bool, _ event.Time) {
 	l.frames = append(l.frames, ok)
-	l.lastTx = tx
 }
 func (l *testListener) TxDone(*Tx, event.Time) {}
 
@@ -180,7 +178,7 @@ func TestSingleFrameDecodes(t *testing.T) {
 	st := m.AddNode(Position{0, 0}, stL)
 	_ = ap
 
-	m.Transmit(st, Rate54Mbps, 128, "data")
+	m.Transmit(st, Rate54Mbps, 128, Payload{Src: st.ID})
 	sched.Run(0)
 
 	if len(apL.frames) != 1 || !apL.frames[0] {
@@ -200,8 +198,8 @@ func TestOverlappingFramesCollide(t *testing.T) {
 		sts = append(sts, m.AddNode(p, &testListener{}))
 	}
 
-	m.Transmit(sts[0], Rate54Mbps, 128, "a")
-	m.Transmit(sts[1], Rate54Mbps, 128, "b")
+	m.Transmit(sts[0], Rate54Mbps, 128, Payload{Src: 0})
+	m.Transmit(sts[1], Rate54Mbps, 128, Payload{Src: 1})
 	sched.Run(0)
 
 	if len(apL.frames) != 2 {
@@ -222,9 +220,9 @@ func TestPartialOverlapCollides(t *testing.T) {
 	for _, p := range StationGrid(2) {
 		sts = append(sts, m.AddNode(p, &testListener{}))
 	}
-	m.Transmit(sts[0], Rate54Mbps, 1088, "long")
+	m.Transmit(sts[0], Rate54Mbps, 1088, Payload{Src: 0})
 	sched.Schedule(10*time.Microsecond, func(event.Time) {
-		m.Transmit(sts[1], Rate54Mbps, 128, "short")
+		m.Transmit(sts[1], Rate54Mbps, 128, Payload{Src: 1})
 	})
 	sched.Run(0)
 	for i, ok := range apL.frames {
@@ -242,9 +240,9 @@ func TestSequentialFramesBothDecode(t *testing.T) {
 	for _, p := range StationGrid(2) {
 		sts = append(sts, m.AddNode(p, &testListener{}))
 	}
-	m.Transmit(sts[0], Rate54Mbps, 128, "a")
+	m.Transmit(sts[0], Rate54Mbps, 128, Payload{Src: 0})
 	sched.Schedule(FrameDuration(Rate54Mbps, 128), func(event.Time) {
-		m.Transmit(sts[1], Rate54Mbps, 128, "b")
+		m.Transmit(sts[1], Rate54Mbps, 128, Payload{Src: 1})
 	})
 	sched.Run(0)
 	if len(apL.frames) != 2 || !apL.frames[0] || !apL.frames[1] {
@@ -258,8 +256,8 @@ func TestHalfDuplexCannotReceiveWhileSending(t *testing.T) {
 	n0 := m.AddNode(Position{0, 0}, l0)
 	n1 := m.AddNode(Position{1, 0}, l1)
 
-	m.Transmit(n0, Rate54Mbps, 128, "a")
-	m.Transmit(n1, Rate54Mbps, 128, "b")
+	m.Transmit(n0, Rate54Mbps, 128, Payload{Src: 0})
+	m.Transmit(n1, Rate54Mbps, 128, Payload{Src: 1})
 	sched.Run(0)
 
 	// Each node heard exactly the other's frame, and must NOT decode it
@@ -281,9 +279,9 @@ func TestCarrierSenseTracksOverlap(t *testing.T) {
 		sts = append(sts, m.AddNode(p, &testListener{}))
 	}
 	// Two overlapping frames: the observer should see one busy period.
-	m.Transmit(sts[0], Rate54Mbps, 1088, "long")
+	m.Transmit(sts[0], Rate54Mbps, 1088, Payload{Src: 0})
 	sched.Schedule(5*time.Microsecond, func(event.Time) {
-		m.Transmit(sts[1], Rate54Mbps, 128, "short")
+		m.Transmit(sts[1], Rate54Mbps, 128, Payload{Src: 1})
 	})
 	sched.Run(0)
 	if obs.busy != 1 || obs.idle != 1 {
@@ -297,7 +295,7 @@ func TestNodeBusyFlag(t *testing.T) {
 	obs := m.AddNode(APPosition(), obsL)
 	st := m.AddNode(Position{0, 0}, &testListener{})
 
-	m.Transmit(st, Rate54Mbps, 128, "x")
+	m.Transmit(st, Rate54Mbps, 128, Payload{Src: st.ID})
 	if !obs.Busy() {
 		t.Fatal("observer not busy during transmission")
 	}
@@ -311,58 +309,45 @@ func TestDoubleTransmitPanics(t *testing.T) {
 	_, m := newTestMedium()
 	st := m.AddNode(Position{0, 0}, &testListener{})
 	m.AddNode(APPosition(), &testListener{})
-	m.Transmit(st, Rate54Mbps, 128, "x")
+	m.Transmit(st, Rate54Mbps, 128, Payload{Src: st.ID})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("concurrent transmit from one node did not panic")
 		}
 	}()
-	m.Transmit(st, Rate54Mbps, 128, "y")
+	m.Transmit(st, Rate54Mbps, 128, Payload{Src: st.ID})
 }
 
 func TestCaptureUnderNearFarLayout(t *testing.T) {
 	// Sanity check of the ablation geometry: with one station very close to
 	// the AP and one far away, the close station's frame survives overlap.
+	// Verdicts are keyed by the typed payload's Src field.
 	sched := &event.Scheduler{}
 	m := NewMedium(sched, DefaultConfig())
-	apL := &testListener{}
-	m.AddNode(APPosition(), apL)
+	res := &captureListener{ok: map[int]bool{}}
+	m.AddNode(APPosition(), res)
 	ps := NearFarLayout(12)
 	near := m.AddNode(ps[0], &testListener{}) // 1 m from AP
 	far := m.AddNode(ps[11], &testListener{}) // ~40 m away
 
-	m.Transmit(near, Rate54Mbps, 128, "near")
-	m.Transmit(far, Rate54Mbps, 128, "far")
+	m.Transmit(near, Rate54Mbps, 128, Payload{Src: near.ID})
+	m.Transmit(far, Rate54Mbps, 128, Payload{Src: far.ID})
 	sched.Run(0)
 
-	ok := map[string]bool{}
-	// Frames arrive in FrameEnd order; match via lastTx not needed — both
-	// same length, inspect Data.
-	// Re-run with explicit bookkeeping instead:
-	sched2 := &event.Scheduler{}
-	m2 := NewMedium(sched2, DefaultConfig())
-	res := &captureListener{ok: ok}
-	m2.AddNode(APPosition(), res)
-	n1 := m2.AddNode(ps[0], &testListener{})
-	n2 := m2.AddNode(ps[11], &testListener{})
-	m2.Transmit(n1, Rate54Mbps, 128, "near")
-	m2.Transmit(n2, Rate54Mbps, 128, "far")
-	sched2.Run(0)
-
-	if !ok["near"] {
+	if !res.ok[near.ID] {
 		t.Fatal("near station should capture over a distant interferer")
 	}
-	if ok["far"] {
+	if res.ok[far.ID] {
 		t.Fatal("far station should be drowned by the near interferer")
 	}
 }
 
-type captureListener struct{ ok map[string]bool }
+type captureListener struct{ ok map[int]bool }
 
 func (l *captureListener) ChannelBusy(event.Time) {}
 func (l *captureListener) ChannelIdle(event.Time) {}
 func (l *captureListener) FrameEnd(tx *Tx, ok bool, _ event.Time) {
-	l.ok[tx.Data.(string)] = ok
+	l.ok[tx.Payload.Src] = ok
 }
 func (l *captureListener) TxDone(*Tx, event.Time) {}
 
@@ -374,7 +359,7 @@ func TestMediumStats(t *testing.T) {
 		sts = append(sts, m.AddNode(p, &testListener{}))
 	}
 	for _, s := range sts {
-		m.Transmit(s, Rate54Mbps, 128, nil)
+		m.Transmit(s, Rate54Mbps, 128, Payload{Src: s.ID})
 	}
 	sched.Run(0)
 	if m.TotalTx != 3 {

@@ -13,9 +13,9 @@
 package rng
 
 import (
-	"hash/fnv"
 	"math"
 	"math/bits"
+	"strconv"
 )
 
 // Source is a xoshiro256** pseudo-random number generator.
@@ -61,42 +61,71 @@ func (r *Source) Derive(label string) *Source {
 	return New(r.ChildSeed(label))
 }
 
+// DeriveIndexed returns Derive(prefix + strconv.Itoa(i)) without building
+// the label string. Per-entity streams ("station-0", "station-1", ...) are
+// derived once per simulation but across every cell of a sweep, so the
+// Sprintf labels used to dominate the harness's allocation profile. The
+// hash input is byte-identical to the concatenated label, so existing
+// goldens and transported ChildSeed values are unaffected.
+func (r *Source) DeriveIndexed(prefix string, i int) *Source {
+	h := r.stateHash()
+	h = fnvString(h, prefix)
+	var buf [20]byte
+	h = fnvBytes(h, strconv.AppendInt(buf[:0], int64(i), 10))
+	return New(h)
+}
+
 // ChildSeed returns the seed Derive(label) would construct its stream from:
 // a hash of the receiver's current state and the label. It lets callers that
 // schedule work elsewhere (e.g. a sweep grid) transport the derived stream
 // as a plain seed and rebuild it later with New.
 func (r *Source) ChildSeed(label string) uint64 {
-	h := fnv.New64a()
-	var buf [32]byte
-	for i, s := range r.s {
-		putUint64(buf[i*8:], s)
-	}
-	h.Write(buf[:])
-	h.Write([]byte(label))
-	return h.Sum64()
+	return fnvString(r.stateHash(), label)
 }
 
 // DeriveSeed returns a 64-bit seed derived from seed and label, for callers
 // that want to construct generators lazily.
 func DeriveSeed(seed uint64, label string) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	putUint64(buf[:], seed)
-	h.Write(buf[:])
-	h.Write([]byte(label))
-	return h.Sum64()
+	return fnvString(fnvUint64(fnvOffset, seed), label)
 }
 
-func putUint64(b []byte, v uint64) {
-	_ = b[7]
-	b[0] = byte(v)
-	b[1] = byte(v >> 8)
-	b[2] = byte(v >> 16)
-	b[3] = byte(v >> 24)
-	b[4] = byte(v >> 32)
-	b[5] = byte(v >> 40)
-	b[6] = byte(v >> 48)
-	b[7] = byte(v >> 56)
+// FNV-64a, inlined: hash/fnv's hasher is an allocation per derivation, and
+// derivations happen per station per cell. The constants and byte order
+// match hash/fnv exactly, so seeds hash identically to the old code.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// stateHash returns the FNV-64a hash of the receiver's four state words in
+// little-endian byte order (the prefix ChildSeed feeds before the label).
+func (r *Source) stateHash() uint64 {
+	h := fnvOffset
+	for _, s := range r.s {
+		h = fnvUint64(h, s)
+	}
+	return h
+}
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(byte(v>>(8*i)))) * fnvPrime
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -1,6 +1,8 @@
 package rng
 
 import (
+	"fmt"
+	"hash/fnv"
 	"math"
 	"testing"
 	"testing/quick"
@@ -71,6 +73,70 @@ func TestDeriveSeedMatchesLabeling(t *testing.T) {
 	}
 	if s1 == s3 {
 		t.Fatal("DeriveSeed ignored label")
+	}
+}
+
+// TestChildSeedMatchesStdlibFNV pins the inlined FNV-64a against hash/fnv:
+// every ChildSeed/DeriveSeed value ever transported or baked into a golden
+// was computed with the stdlib hasher, so the inline must hash identically.
+func TestChildSeedMatchesStdlibFNV(t *testing.T) {
+	labels := []string{"", "x", "station-17", "probe-0", "trial-999"}
+	for _, seed := range []uint64{0, 1, 99, 1 << 63} {
+		r := New(seed)
+		for _, label := range labels {
+			h := fnv.New64a()
+			var buf [32]byte
+			for i, s := range r.s {
+				for j := 0; j < 8; j++ {
+					buf[i*8+j] = byte(s >> (8 * j))
+				}
+			}
+			h.Write(buf[:])
+			h.Write([]byte(label))
+			if got, want := r.ChildSeed(label), h.Sum64(); got != want {
+				t.Errorf("ChildSeed(seed=%d, %q) = %#x, stdlib fnv = %#x", seed, label, got, want)
+			}
+
+			h2 := fnv.New64a()
+			var b8 [8]byte
+			for j := 0; j < 8; j++ {
+				b8[j] = byte(seed >> (8 * j))
+			}
+			h2.Write(b8[:])
+			h2.Write([]byte(label))
+			if got, want := DeriveSeed(seed, label), h2.Sum64(); got != want {
+				t.Errorf("DeriveSeed(%d, %q) = %#x, stdlib fnv = %#x", seed, label, got, want)
+			}
+		}
+	}
+}
+
+// TestDeriveIndexedMatchesDerive pins the fast path against the label form
+// it replaces; divergence would silently re-seed every station stream.
+func TestDeriveIndexedMatchesDerive(t *testing.T) {
+	base := New(7)
+	for _, i := range []int{0, 1, 9, 10, 42, 999, 100000, -1, -37} {
+		want := base.Derive(fmt.Sprintf("station-%d", i)).Uint64()
+		got := base.DeriveIndexed("station-", i).Uint64()
+		if got != want {
+			t.Errorf("DeriveIndexed(\"station-\", %d) diverged from Derive: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDeriveIndexedDoesNotAllocateLabels(t *testing.T) {
+	base := New(7)
+	// One alloc for the returned *Source is inherent; the label must not add
+	// a second (that was the point of the fast path).
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = base.DeriveIndexed("station-", 12345)
+	}); avg > 1 {
+		t.Fatalf("DeriveIndexed allocates %.1f objects per call, want <= 1", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = base.ChildSeed("station-12345")
+	}); avg != 0 {
+		t.Fatalf("ChildSeed allocates %.1f objects per call, want 0", avg)
 	}
 }
 

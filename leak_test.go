@@ -12,6 +12,11 @@ import (
 // instead of draining the channel. The forwarding goroutine and the pool
 // workers must all exit — a sweep abandoned this way in a long-lived process
 // (the figure harness, a service) must not accumulate goroutines.
+//
+// The scenarios run the WiFi model so the cancel lands while workers have
+// pooled Txs in flight: each worker's Medium (and its free list) must be
+// dropped whole, with no pooled object escaping to a goroutine that
+// outlives the sweep.
 func TestSweepAbandonWithCancelDoesNotLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
 
@@ -19,8 +24,8 @@ func TestSweepAbandonWithCancelDoesNotLeak(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		eng := Engine{Workers: 4}
 		scenarios := []Scenario{
-			{Model: Abstract(), Algorithm: MustAlgorithm("BEB"), N: 50},
-			{Model: Abstract(), Algorithm: MustAlgorithm("LLB"), N: 50},
+			{Model: WiFi(), Algorithm: MustAlgorithm("BEB"), N: 50},
+			{Model: WiFi(), Algorithm: MustAlgorithm("LLB"), N: 50},
 		}
 		ch := eng.Sweep(ctx, scenarios, []uint64{1, 2, 3, 4, 5})
 
