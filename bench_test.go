@@ -9,10 +9,12 @@ import (
 	"context"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // benchConfig is small enough for -bench runs while preserving shapes.
@@ -215,6 +217,49 @@ func BenchmarkSweepCached(b *testing.B) {
 		b.Fatalf("benchmark loop simulated: %d misses, want only the warm-up's", s.Misses)
 	}
 	b.ReportMetric(float64(s.Hits)/float64(b.N), "hits/op")
+}
+
+// benchObserver is a production-shaped Observer: registry counters and a
+// histogram fed on every cell, the way internal/serve's observer does.
+type benchObserver struct {
+	cells  *obs.Counter
+	events *obs.Counter
+	simDur *obs.Histogram
+}
+
+func (o *benchObserver) ObserveCell(c repro.CellInfo) {
+	o.cells.Inc()
+	o.events.Add(int64(c.Sim.EventsFired))
+	o.simDur.Observe(float64(c.SimDuration) / float64(time.Millisecond))
+}
+
+// BenchmarkSweepObserved is BenchmarkSweepParallel with an Observer
+// attached: the delta to that benchmark is the all-in cost of per-cell
+// instrumentation (timestamps, kernel-stats copy, registry updates).
+func BenchmarkSweepObserved(b *testing.B) {
+	scenarios, seeds := sweepBenchGrid()
+	reg := obs.NewRegistry()
+	o := &benchObserver{
+		cells:  reg.Counter("bench_cells_total", ""),
+		events: reg.Counter("bench_events_total", ""),
+		simDur: reg.Histogram("bench_sim_duration_ms", "", obs.ExpBuckets(0.1, 2, 20)),
+	}
+	eng := repro.Engine{Observer: o}
+	for i := 0; i < b.N; i++ {
+		cells := 0
+		for cell := range eng.Sweep(context.Background(), scenarios, seeds) {
+			if cell.Err != nil {
+				b.Fatal(cell.Err)
+			}
+			cells++
+		}
+		if cells != len(scenarios)*len(seeds) {
+			b.Fatalf("got %d cells", cells)
+		}
+	}
+	if got := o.cells.Value(); got != int64(b.N*len(scenarios)*len(seeds)) {
+		b.Fatalf("observer saw %d cells", got)
+	}
 }
 
 // --- Single-run microbenches for the public API ----------------------------

@@ -46,17 +46,18 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "comma-separated experiment ids (fig3..fig19, tab3, decomp, rts, minpkt, ablations) or 'all'")
-		list    = flag.Bool("list", false, "list experiments and the Table I configuration")
-		out     = flag.String("out", "", "directory for CSV output (created if missing)")
-		plot    = flag.Bool("plot", true, "render ASCII plots alongside tables")
-		quick   = flag.Bool("quick", false, "use the reduced test-fidelity configuration")
-		trials  = flag.Int("trials", 0, "override trials per point")
-		nmax    = flag.Int("nmax", 0, "override the maximum n (or payload for fig14)")
-		step    = flag.Int("step", 0, "override the sweep step")
-		seed    = flag.Uint64("seed", 0, "random seed")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		cache   = flag.String("cache", "", "result-store directory: memoize cells and resume interrupted runs")
+		fig      = flag.String("fig", "", "comma-separated experiment ids (fig3..fig19, tab3, decomp, rts, minpkt, ablations) or 'all'")
+		list     = flag.Bool("list", false, "list experiments and the Table I configuration")
+		out      = flag.String("out", "", "directory for CSV output (created if missing)")
+		plot     = flag.Bool("plot", true, "render ASCII plots alongside tables")
+		quick    = flag.Bool("quick", false, "use the reduced test-fidelity configuration")
+		trials   = flag.Int("trials", 0, "override trials per point")
+		nmax     = flag.Int("nmax", 0, "override the maximum n (or payload for fig14)")
+		step     = flag.Int("step", 0, "override the sweep step")
+		seed     = flag.Uint64("seed", 0, "random seed")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		cache    = flag.String("cache", "", "result-store directory: memoize cells and resume interrupted runs")
+		progress = flag.Bool("progress", false, "print periodic cell-completion progress lines to stderr")
 	)
 	flag.Parse()
 
@@ -75,6 +76,9 @@ func main() {
 	defer stop()
 
 	cfg := experiments.Config{Trials: *trials, NMax: *nmax, NStep: *step, Seed: *seed, Workers: *workers}
+	if *progress {
+		cfg.Observer = newProgress(os.Stderr, 2*time.Second)
+	}
 	if *quick {
 		q := experiments.Quick()
 		if cfg.Trials == 0 {

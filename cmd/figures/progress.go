@@ -1,0 +1,59 @@
+package main
+
+// progress is a repro.Observer printing a throttled heartbeat for long
+// figure regenerations: total cells completed, how many were simulated
+// versus replayed from the -cache store, and the rolling cell rate. It is
+// purely passive — attaching it cannot change any figure output.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+type progress struct {
+	w        io.Writer
+	interval time.Duration
+
+	mu        sync.Mutex
+	start     time.Time
+	last      time.Time
+	cells     int64
+	simulated int64
+	errors    int64
+}
+
+func newProgress(w io.Writer, interval time.Duration) *progress {
+	now := time.Now()
+	return &progress{w: w, interval: interval, start: now, last: now}
+}
+
+// ObserveCell implements repro.Observer. Counting happens on every cell;
+// a line is printed at most once per interval.
+func (p *progress) ObserveCell(c repro.CellInfo) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cells++
+	if c.Simulated {
+		p.simulated++
+	}
+	if c.Err != nil {
+		p.errors++
+	}
+	now := time.Now()
+	if now.Sub(p.last) < p.interval {
+		return
+	}
+	p.last = now
+	elapsed := now.Sub(p.start)
+	line := fmt.Sprintf("figures: progress: cells=%d simulated=%d replayed=%d (%.0f cells/s, %s elapsed)",
+		p.cells, p.simulated, p.cells-p.simulated,
+		float64(p.cells)/elapsed.Seconds(), elapsed.Round(time.Second))
+	if p.errors > 0 {
+		line += fmt.Sprintf(" errors=%d", p.errors)
+	}
+	fmt.Fprintln(p.w, line)
+}

@@ -29,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -77,6 +78,7 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "base seed for the trial ladder")
 		dump     = flag.String("dump", "", "write one canonical full-grid sweep response to this file")
 		expect   = flag.String("expect", "", "assert cache behaviour: cold (misses == unique cells) or warm (misses == 0)")
+		progress = flag.Bool("progress", false, "print periodic request-completion progress lines to stderr")
 	)
 	flag.Parse()
 	if *expect != "" && *expect != "cold" && *expect != "warm" {
@@ -115,6 +117,35 @@ func run() error {
 	}
 	outcomes := make([]outcome, *clients)
 	start := time.Now()
+
+	// With -progress, a ticker goroutine reports completed requests/cells
+	// while the load phase runs; doneReqs/doneCells are the only shared
+	// state, bumped once per finished request.
+	var doneReqs, doneCells atomic.Int64
+	stopProgress := func() {}
+	if *progress {
+		done := make(chan struct{})
+		var once sync.Once
+		stopProgress = func() { once.Do(func() { close(done) }) }
+		go func() {
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			total := int64(*clients) * int64(*requests)
+			for {
+				select {
+				case <-done:
+					return
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					fmt.Fprintf(os.Stderr, "loadgen: progress: requests=%d/%d cells=%d (%s elapsed)\n",
+						doneReqs.Load(), total, doneCells.Load(),
+						time.Since(start).Round(time.Second))
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
@@ -140,10 +171,13 @@ func run() error {
 				}
 				o.latencies = append(o.latencies, float64(time.Since(t0))/float64(time.Millisecond))
 				o.cells += lines
+				doneReqs.Add(1)
+				doneCells.Add(int64(lines))
 			}
 		}(c)
 	}
 	wg.Wait()
+	stopProgress()
 	elapsed := time.Since(start)
 	if err := ctx.Err(); err != nil {
 		return err

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	serve -addr :8080 -store /var/lib/contend -max-sims 8 -per-client 4
+//	serve -pprof -span-log spans.ndjson    # profiling endpoints + span log
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
 // requests get -drain to finish, then their contexts are cancelled (which
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -45,11 +47,29 @@ func run() error {
 		perClient = flag.Int("per-client", 0, "concurrent requests per client (0 = unlimited)")
 		maxCells  = flag.Int("max-cells", 0, "max scenario×seed cells per request (0 = unlimited)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown grace period")
+		pprofOn   = flag.Bool("pprof", false, "mount /debug/pprof profiling endpoints")
+		spanLog   = flag.String("span-log", "", "append one NDJSON lifecycle span per cell to this file")
 	)
 	flag.Parse()
 
 	cfg := serve.Config{
 		Workers: *workers, MaxSims: *maxSims, PerClient: *perClient, MaxCells: *maxCells,
+		Pprof: *pprofOn,
+	}
+	if *spanLog != "" {
+		f, err := os.OpenFile(*spanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		sink := obs.NewJSONL(f)
+		// Close surfaces the first span write error too: a span log that
+		// silently dropped records mid-run is worse than a loud exit line.
+		defer func() {
+			if cerr := sink.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "serve: span log:", cerr)
+			}
+		}()
+		cfg.Spans = sink
 	}
 	if *storeDir != "" {
 		st, err := repro.OpenStore(*storeDir)

@@ -170,6 +170,9 @@ func (m wifiModel) run(_ context.Context, s Scenario, o options) (Result, error)
 		cfg := m.config(o)
 		g := o.stream(fmt.Sprintf("wifi|%s|n=%d", s.Algorithm, s.N))
 		res := mac.RunBatch(cfg, s.N, f, g, m.tracer(o))
+		if o.simStats != nil {
+			*o.simStats = res.Kernel
+		}
 		d := core.Decompose(cfg, res)
 		return Result{Batch: &BatchResult{
 			N:                 s.N,
@@ -191,6 +194,9 @@ func (m wifiModel) run(_ context.Context, s Scenario, o options) (Result, error)
 		cfg := materializeMACConfig(w, o)
 		g := o.stream(fmt.Sprintf("bok|k=%d|n=%d", w.K, s.N))
 		res := mac.RunBestOfK(cfg, mac.DefaultBestOfK(w.K), s.N, g, m.tracer(o))
+		if o.simStats != nil {
+			*o.simStats = res.Kernel
+		}
 		d := core.Decompose(cfg, res.Result)
 		ests := append([]int(nil), res.Estimates...)
 		for i := 1; i < len(ests); i++ {
@@ -230,6 +236,9 @@ func (m wifiModel) run(_ context.Context, s Scenario, o options) (Result, error)
 		cfg := m.config(o)
 		g := o.stream(fmt.Sprintf("traffic|%s|%s|n=%d", s.Algorithm, proc.Name(), s.N))
 		res := mac.RunContinuous(cfg, s.N, f, proc, w.Horizon, g, m.tracer(o))
+		if o.simStats != nil {
+			*o.simStats = res.Kernel
+		}
 		return Result{Traffic: &TrafficResult{
 			N:              s.N,
 			Horizon:        w.Horizon,
@@ -283,6 +292,17 @@ type Engine struct {
 	// should honor ctx so cancelled sweeps stop waiting for budget. Run
 	// does not consult Admit (it is the synchronous single-execution path).
 	Admit func(ctx context.Context) (release func(), err error)
+
+	// Observer, when non-nil, receives a CellInfo for every completed grid
+	// cell (Sweep, SweepSeeded, RunMany, and the aggregation paths built on
+	// them): admit wait, store hit/miss, simulate and write-through
+	// durations, and the run's deterministic kernel profile. Observation is
+	// passive — cell values, streaming order, goldens, and fingerprints are
+	// identical with or without one — and strictly pay-for-use: a nil
+	// Observer takes the exact uninstrumented path, with no wall-clock
+	// reads and no allocations. Implementations must be safe for concurrent
+	// use. See observe.go.
+	Observer Observer
 }
 
 // WithStore returns a copy of the engine that serves grid cells through st;

@@ -65,12 +65,38 @@ func (e *Event) Arg() any { return e.arg }
 // It is not safe for concurrent use; a simulation is single-goroutine by
 // design (parallelism belongs at the trial level, not inside one run).
 type Scheduler struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
-	free   []*Event
-	fired  uint64
-	maxLen int
+	now      Time
+	seq      uint64
+	queue    eventHeap
+	free     []*Event
+	fired    uint64
+	canceled uint64
+	reused   uint64
+	maxLen   int
+}
+
+// Stats is the kernel's deterministic work profile: every field is a pure
+// function of the event sequence, never of wall-clock time, so the struct
+// is safe to export from a simulation without perturbing reproducibility.
+// It is a side channel — it must never be folded into fingerprints or
+// serialized results.
+type Stats struct {
+	Scheduled   uint64 // events armed (seq counter; includes later-cancelled)
+	Fired       uint64 // events executed
+	Canceled    uint64 // events removed before firing
+	Reused      uint64 // allocs served from the free list instead of the heap
+	MaxQueueLen int    // queue depth high-water mark
+}
+
+// Stats returns the scheduler's cumulative work counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Scheduled:   s.seq,
+		Fired:       s.fired,
+		Canceled:    s.canceled,
+		Reused:      s.reused,
+		MaxQueueLen: s.maxLen,
+	}
 }
 
 // Now returns the current simulated time.
@@ -135,6 +161,7 @@ func (s *Scheduler) alloc(comment string, delay time.Duration) *Event {
 		e = s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
+		s.reused++
 	} else {
 		e = &Event{}
 	}
@@ -175,6 +202,7 @@ func (s *Scheduler) Cancel(e *Event) {
 		return
 	}
 	s.queue.removeAt(e.index)
+	s.canceled++
 	s.release(e)
 }
 

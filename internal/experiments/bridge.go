@@ -23,8 +23,10 @@ import (
 )
 
 // engine returns the sweep engine for this config, attached to the result
-// store when the config carries one.
-func (c Config) engine() *repro.Engine { return &repro.Engine{Workers: c.Workers, Store: c.Store} }
+// store and observer when the config carries them.
+func (c Config) engine() *repro.Engine {
+	return &repro.Engine{Workers: c.Workers, Store: c.Store, Observer: c.Observer}
+}
 
 // legacySeeds reproduces the legacy per-trial stream ladder of the series
 // as a sweep-grid SeedFunc: cell (si, ti) gets the stream the old harness

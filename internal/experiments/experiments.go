@@ -36,6 +36,10 @@ type Config struct {
 	// result store, making interrupted figure runs resumable
 	// (cmd/figures -cache).
 	Store *repro.Store
+	// Observer, when non-nil, receives one CellInfo per completed sweep
+	// cell (cmd/figures -progress). Purely passive: results are identical
+	// with or without it.
+	Observer repro.Observer
 }
 
 // ctx returns the effective context.

@@ -1,4 +1,4 @@
-// Package lint is the determinism lint suite: five analyzers that turn
+// Package lint is the determinism lint suite: six analyzers that turn
 // the repository's reproducibility invariants — prose in DESIGN.md,
 // runtime guards in tests — into machine-checked properties of every
 // build. cmd/replint drives them, both standalone and as a `go vet
@@ -21,7 +21,7 @@ import (
 
 // All returns the suite's analyzers in reporting order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{NoDeterm, SeedLint, FPGuard, CtxLoop, SinkErr}
+	return []*analysis.Analyzer{NoDeterm, SeedLint, FPGuard, CtxLoop, SinkErr, ObsGuard}
 }
 
 // splitList parses a comma-separated flag value into trimmed non-empty

@@ -62,6 +62,14 @@ func TestSinkErr(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), lint.SinkErr, "sinkerr")
 }
 
+func TestObsGuard(t *testing.T) {
+	// Span APIs are banned only in the configured simulation packages; the
+	// engine fixture uses the same APIs with no findings.
+	analysistest.SetFlag(t, lint.ObsGuard, "pkgs", "obsguard/sim")
+	analysistest.SetFlag(t, lint.ObsGuard, "obs", "obsguard/obs")
+	analysistest.Run(t, analysistest.TestData(t), lint.ObsGuard, "obsguard/sim", "obsguard/engine")
+}
+
 // TestSuiteCleanOnModule is the meta-test: the whole module must be free
 // of findings, so a regression anywhere in the tree fails `go test` even
 // before CI's vet step runs.

@@ -39,6 +39,8 @@ type ContinuousResult struct {
 	// Backlog is the number of packets still queued or in flight at the
 	// horizon.
 	Backlog int
+	// Kernel is the run's deterministic work profile (see KernelStats).
+	Kernel KernelStats
 }
 
 // RunContinuous simulates n stations for the given horizon with per-station
@@ -84,6 +86,7 @@ func RunContinuous(cfg Config, n int, f backoff.Factory, proc traffic.Process,
 		Collisions: 0,
 		Stations:   make([]StationStats, n),
 	}
+	res.Kernel = m.kernelStats()
 	res.Collisions, _ = m.ap.disjointCollisions()
 	res.Backlog = offered - m.finished
 	res.ThroughputMbps = float64(m.finished*cfg.PayloadBytes*8) / horizon.Seconds() / 1e6

@@ -50,6 +50,27 @@ type Result struct {
 	Stations []StationStats
 	// Events is the number of simulator events fired.
 	Events uint64
+	// Kernel is the run's deterministic work profile (see KernelStats).
+	Kernel KernelStats
+}
+
+// KernelStats is the deterministic work profile of one run: event-kernel
+// counters, idle-slot fast-forward savings, and Tx pool traffic. Every
+// field is a pure function of (scenario, seed) — no wall clock — so
+// reading it cannot perturb reproducibility. It is a side channel for
+// observability only: it must never be serialized into store records,
+// folded into fingerprints, or compared by result goldens.
+type KernelStats struct {
+	EventsScheduled uint64 // events armed in the kernel (includes cancelled)
+	EventsFired     uint64 // events executed
+	EventsCanceled  uint64 // events removed before firing
+	EventsReused    uint64 // kernel allocs served from the event free list
+	MaxQueueLen     int    // event-queue depth high-water mark
+	IdleSlotsElided uint64 // slot events skipped by the idle fast-forward
+	TxTotal         int    // transmissions put on the air
+	TxReuses        int    // Tx allocs served from the pool
+	TxRecycles      int    // Tx objects returned to the pool
+	TxQuarantined   int    // Tx objects poisoned under CheckTxReuse
 }
 
 // FinishTimes returns every station's finish time.
@@ -319,6 +340,7 @@ func (m *sim) collect(fired uint64) Result {
 		// scenario, not of kernel optimizations.
 		Events: fired + m.elidedSlots,
 	}
+	res.Kernel = m.kernelStats()
 	res.CWSlotsAtHalf = m.halfCWSlots
 	res.Collisions, res.CollisionAir = m.ap.disjointCollisions()
 	res.Captures = m.ap.captures
@@ -329,6 +351,24 @@ func (m *sim) collect(fired uint64) Result {
 	}
 	res.MaxAckTimeouts, res.MaxAckTimeoutWait = maxTimeoutStats(res.Stations)
 	return res
+}
+
+// kernelStats snapshots the run's deterministic work profile from the
+// scheduler and the medium.
+func (m *sim) kernelStats() KernelStats {
+	ks := m.sched.Stats()
+	return KernelStats{
+		EventsScheduled: ks.Scheduled,
+		EventsFired:     ks.Fired,
+		EventsCanceled:  ks.Canceled,
+		EventsReused:    ks.Reused,
+		MaxQueueLen:     ks.MaxQueueLen,
+		IdleSlotsElided: m.elidedSlots,
+		TxTotal:         m.medium.TotalTx,
+		TxReuses:        m.medium.TxReuses,
+		TxRecycles:      m.medium.TxRecycles,
+		TxQuarantined:   m.medium.TxQuarantined,
+	}
 }
 
 // maxTimeoutStats finds the station with the most ACK timeouts and returns

@@ -228,10 +228,18 @@ type Medium struct {
 	deliv []delivery
 	pts   []event.Time
 
-	// Stats.
+	// Stats. All are deterministic work counters — pure functions of the
+	// event sequence — and live on the Medium, not the Config, so they
+	// stay outside the fingerprint surface.
 	TotalTx     int
 	TotalAirNs  int64
 	PeakOverlap int
+
+	// Tx pool counters: allocations served from the pool vs cold, objects
+	// returned for reuse, and objects poisoned under CheckTxReuse.
+	TxReuses      int
+	TxRecycles    int
+	TxQuarantined int
 }
 
 // delivery is one pending FrameEnd verdict (see endTx).
@@ -355,6 +363,7 @@ func (m *Medium) allocTx() *Tx {
 		m.txFree[n-1] = nil
 		m.txFree = m.txFree[:n-1]
 		tx.released = false
+		m.TxReuses++
 		return tx
 	}
 	// Cold path: pre-size interferers so warm-up transmissions don't each
@@ -375,8 +384,10 @@ func (m *Medium) recycleTx(t *Tx) {
 	if m.CheckTxReuse {
 		t.Start, t.End = -1, -1
 		t.Bytes = -1
+		m.TxQuarantined++
 		return
 	}
+	m.TxRecycles++
 	m.txFree = append(m.txFree, t)
 }
 

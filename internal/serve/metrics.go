@@ -1,83 +1,112 @@
 package serve
 
-// Per-endpoint request metrics: cumulative count and error counters plus a
-// sliding window of recent latencies, from which /v1/stats and /metrics
-// report p50/p99. A fixed ring of the last latencyWindow samples keeps the
-// quantiles fresh (they describe recent traffic, not the whole uptime) at
-// constant memory.
+// The serving layer's metrics, all behind one obs.Registry:
+//
+//   - per-endpoint HTTP counters and a latency histogram (this file) —
+//     the successor of the old hand-rolled 512-sample latency ring;
+//   - engine / kernel / Tx-pool families fed by the repro.Observer hook
+//     (observer.go);
+//   - store, admission, and Go-runtime families registered as live
+//     CounterFunc/GaugeFunc series that read their owners at scrape time
+//     (serve.go).
+//
+// /metrics renders the registry in Prometheus text format and /v1/stats
+// serves the same registry as a JSON snapshot, so the two exposition paths
+// can never disagree.
 
 import (
 	"sort"
 	"sync"
 	"time"
 
-	"repro/internal/stats"
+	"repro/internal/obs"
 )
 
-// latencyWindow is the per-endpoint latency ring size.
-const latencyWindow = 512
+// latencyBucketsMS is the request-latency histogram's upper bounds in
+// milliseconds: 0.25 ms .. ~8.4 s, doubling. Wide enough for a cold
+// 10^5-cell sweep, fine enough to separate warm replays from simulations.
+var latencyBucketsMS = obs.ExpBuckets(0.25, 2, 16)
 
 type metrics struct {
+	reg *obs.Registry
+
 	mu        sync.Mutex
-	endpoints map[string]*endpointMetrics
+	endpoints map[string]*endpointSeries
 }
 
-type endpointMetrics struct {
-	count, errors int64
-	lat           [latencyWindow]float64 // milliseconds
-	n, next       int
+// endpointSeries caches one endpoint's collectors so the per-request path
+// does not re-enter the registry.
+type endpointSeries struct {
+	count   *obs.Counter
+	errors  *obs.Counter
+	latency *obs.Histogram
 }
 
-func newMetrics() *metrics {
-	return &metrics{endpoints: make(map[string]*endpointMetrics)}
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{reg: reg, endpoints: make(map[string]*endpointSeries)}
 }
 
-// observe records one completed request.
-func (m *metrics) observe(name string, d time.Duration, failed bool) {
-	ms := float64(d) / float64(time.Millisecond)
+// endpoint returns (registering on first use) the collectors for name.
+func (m *metrics) endpoint(name string) *endpointSeries {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	e := m.endpoints[name]
 	if e == nil {
-		e = &endpointMetrics{}
+		e = &endpointSeries{
+			count: m.reg.Counter("contend_requests_total",
+				"HTTP requests by endpoint.", "endpoint", name),
+			errors: m.reg.Counter("contend_request_errors_total",
+				"Failed HTTP requests by endpoint.", "endpoint", name),
+			latency: m.reg.Histogram("contend_request_latency_ms",
+				"HTTP request latency in milliseconds.", latencyBucketsMS, "endpoint", name),
+		}
 		m.endpoints[name] = e
 	}
-	e.count++
+	return e
+}
+
+// observe records one completed request.
+func (m *metrics) observe(name string, d time.Duration, failed bool) {
+	e := m.endpoint(name)
+	e.count.Inc()
 	if failed {
-		e.errors++
+		e.errors.Inc()
 	}
-	e.lat[e.next] = ms
-	e.next = (e.next + 1) % latencyWindow
-	if e.n < latencyWindow {
-		e.n++
-	}
+	e.latency.Observe(float64(d) / float64(time.Millisecond))
 }
 
 type endpointSnapshot struct {
 	name          string
 	count, errors int64
-	p50, p99      float64 // milliseconds, over the recent window
+	p50, p99      float64 // milliseconds, estimated from the histogram
 }
 
 // snapshot returns per-endpoint statistics sorted by endpoint name, so the
-// rendered output is deterministic for a given traffic history.
+// rendered output is deterministic for a given traffic history. Quantiles
+// are bucket-interpolated estimates over the whole uptime (the ring the
+// old implementation kept windowed them to recent traffic; the full
+// histogram is also in the registry for consumers that want the shape).
 func (m *metrics) snapshot() []endpointSnapshot {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	names := make([]string, 0, len(m.endpoints))
 	for name := range m.endpoints {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	series := make([]*endpointSeries, len(names))
+	for i, name := range names {
+		series[i] = m.endpoints[name]
+	}
+	m.mu.Unlock()
+
 	out := make([]endpointSnapshot, 0, len(names))
-	for _, name := range names {
-		e := m.endpoints[name]
-		window := e.lat[:e.n]
+	for i, name := range names {
+		e := series[i]
 		out = append(out, endpointSnapshot{
 			name:  name,
-			count: e.count, errors: e.errors,
-			p50: stats.Quantile(window, 0.50),
-			p99: stats.Quantile(window, 0.99),
+			count: e.count.Value(), errors: e.errors.Value(),
+			p50: e.latency.Quantile(0.50),
+			p99: e.latency.Quantile(0.99),
 		})
 	}
 	return out

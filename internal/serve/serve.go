@@ -30,9 +30,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; grids are index-sized (a thousand
@@ -57,6 +60,15 @@ type Config struct {
 	// MaxCells caps the grid size (scenarios × seeds) of one sweep or
 	// aggregate request; 0 means unlimited. Oversized grids get 413.
 	MaxCells int
+	// Pprof, when true, mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/ on the server's own mux. Off by default: profiling
+	// endpoints expose internals and cost CPU, so they are opt-in
+	// (cmd/serve -pprof).
+	Pprof bool
+	// Spans, when non-nil, receives one lifecycle span per completed grid
+	// cell (admit wait, hit/miss, simulate and write-through durations);
+	// cmd/serve -span-log wires an obs.JSONLSink here.
+	Spans obs.SpanSink
 }
 
 // Server is the HTTP serving layer over one Engine + Store.
@@ -64,25 +76,105 @@ type Server struct {
 	cfg Config
 	eng *repro.Engine
 	adm *admission
+	reg *obs.Registry
 	met *metrics
 	mux *http.ServeMux
 }
 
 // New builds a Server; its Handler serves the endpoints above.
 func New(cfg Config) *Server {
+	reg := obs.NewRegistry()
 	s := &Server{
 		cfg: cfg,
 		adm: newAdmission(cfg.MaxSims, cfg.PerClient),
-		met: newMetrics(),
+		reg: reg,
+		met: newMetrics(reg),
 	}
-	s.eng = &repro.Engine{Workers: cfg.Workers, Store: cfg.Store, Admit: s.adm.admitSim}
+	s.eng = &repro.Engine{
+		Workers:  cfg.Workers,
+		Store:    cfg.Store,
+		Admit:    s.adm.admitSim,
+		Observer: newEngineObserver(reg, cfg.Spans),
+	}
+	s.registerLiveMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/run", s.endpoint("run", s.handleRun))
 	s.mux.Handle("POST /v1/sweep", s.endpoint("sweep", s.handleSweep))
 	s.mux.Handle("POST /v1/aggregate", s.endpoint("aggregate", s.handleAggregate))
 	s.mux.Handle("GET /v1/stats", s.endpoint("stats", s.handleStats))
 	s.mux.Handle("GET /metrics", s.endpoint("metrics", s.handleMetrics))
+	if cfg.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// registerLiveMetrics adds the store, admission, and Go-runtime families
+// as CounterFunc/GaugeFunc series that read their owners at scrape time —
+// the counters keep living where they always lived (Store atomics,
+// admission atomics, the runtime), the registry just exposes them.
+func (s *Server) registerLiveMetrics() {
+	if st := s.cfg.Store; st != nil {
+		s.reg.GaugeFunc("contend_store_records",
+			"Live records in the result store.",
+			func() float64 { return float64(st.Stats().Records) })
+		s.reg.GaugeFunc("contend_store_bytes",
+			"Result store log size in bytes.",
+			func() float64 { return float64(st.Stats().Bytes) })
+		s.reg.CounterFunc("contend_store_hits_total",
+			"Cells served from the store (replays and in-flight joins).",
+			func() int64 { return st.Stats().Hits })
+		s.reg.CounterFunc("contend_store_misses_total",
+			"Cells the store had to simulate.",
+			func() int64 { return st.Stats().Misses })
+		s.reg.CounterFunc("contend_store_puts_total",
+			"Successful record writes to the store.",
+			func() int64 { return st.Stats().Puts })
+		s.reg.GaugeFunc("contend_store_inflight",
+			"Cells currently simulating through the store.",
+			func() float64 { return float64(st.Stats().InFlight) })
+		s.reg.GaugeFunc("contend_store_hit_rate",
+			"Fraction of served cells that were store hits.",
+			func() float64 {
+				sst := st.Stats()
+				if served := sst.Hits + sst.Misses; served > 0 {
+					return float64(sst.Hits) / float64(served)
+				}
+				return 0
+			})
+	}
+	s.reg.GaugeFunc("contend_sims_inflight",
+		"Simulations running right now.",
+		func() float64 { return float64(s.adm.inFlight.Load()) })
+	s.reg.CounterFunc("contend_sims_total",
+		"Simulator invocations since startup.",
+		func() int64 { return s.adm.total.Load() })
+	if s.cfg.MaxSims > 0 {
+		s.reg.GaugeFunc("contend_sims_budget",
+			"Global in-flight simulation budget (MaxSims).",
+			func() float64 { return float64(s.cfg.MaxSims) })
+	}
+	s.reg.GaugeFunc("contend_runtime_goroutines",
+		"Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	s.reg.GaugeFunc("contend_runtime_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	s.reg.CounterFunc("contend_runtime_gc_cycles_total",
+		"Completed GC cycles.",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.NumGC)
+		})
 }
 
 // Handler returns the server's HTTP handler.
@@ -404,6 +496,10 @@ type statsWire struct {
 	Store     *storeWire     `json:"store,omitempty"`
 	Sims      simsWire       `json:"sims"`
 	Endpoints []endpointWire `json:"endpoints"`
+	// Metrics is the full obs registry snapshot — every series /metrics
+	// exposes, as JSON. The summary fields above predate it and stay for
+	// wire compatibility (cmd/loadgen reads store.hits/misses, sims.total).
+	Metrics []obs.Sample `json:"metrics"`
 }
 
 type storeWire struct {
@@ -413,6 +509,7 @@ type storeWire struct {
 	Bytes    int64   `json:"bytes"`
 	Hits     int64   `json:"hits"`
 	Misses   int64   `json:"misses"`
+	Puts     int64   `json:"puts"`
 	InFlight int     `json:"in_flight"`
 	HitRate  float64 `json:"hit_rate"`
 	WriteErr string  `json:"write_err,omitempty"`
@@ -445,7 +542,7 @@ func (s *Server) statsSnapshot() statsWire {
 		st := s.cfg.Store.Stats()
 		sw := &storeWire{
 			Records: st.Records, Stale: st.Stale, Corrupt: st.Corrupt, Bytes: st.Bytes,
-			Hits: st.Hits, Misses: st.Misses, InFlight: st.InFlight,
+			Hits: st.Hits, Misses: st.Misses, Puts: st.Puts, InFlight: st.InFlight,
 		}
 		if served := st.Hits + st.Misses; served > 0 {
 			sw.HitRate = float64(st.Hits) / float64(served)
@@ -460,6 +557,7 @@ func (s *Server) statsSnapshot() statsWire {
 			Name: e.name, Count: e.count, Errors: e.errors, P50MS: e.p50, P99MS: e.p99,
 		})
 	}
+	out.Metrics = s.reg.Snapshot()
 	return out
 }
 
@@ -467,35 +565,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) error {
 	return writeJSON(w, s.statsSnapshot())
 }
 
-// handleMetrics renders the same counters in Prometheus text exposition
-// format; endpoint series are emitted in sorted-name order.
+// handleMetrics renders the obs registry in Prometheus text exposition
+// format: stable-sorted series over every family — per-endpoint HTTP,
+// engine cells and durations, kernel and Tx-pool work counters, store,
+// admission, and Go runtime.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
-	snap := s.statsSnapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	var err error
-	p := func(format string, args ...any) {
-		if err == nil {
-			_, err = fmt.Fprintf(w, format, args...)
-		}
-	}
-	if st := snap.Store; st != nil {
-		p("contend_store_records %d\n", st.Records)
-		p("contend_store_bytes %d\n", st.Bytes)
-		p("contend_store_hits_total %d\n", st.Hits)
-		p("contend_store_misses_total %d\n", st.Misses)
-		p("contend_store_inflight %d\n", st.InFlight)
-		p("contend_store_hit_rate %g\n", st.HitRate)
-	}
-	p("contend_sims_inflight %d\n", snap.Sims.InFlight)
-	p("contend_sims_total %d\n", snap.Sims.Total)
-	if snap.Sims.Budget > 0 {
-		p("contend_sims_budget %d\n", snap.Sims.Budget)
-	}
-	for _, e := range snap.Endpoints {
-		p("contend_requests_total{endpoint=%q} %d\n", e.Name, e.Count)
-		p("contend_request_errors_total{endpoint=%q} %d\n", e.Name, e.Errors)
-		p("contend_request_latency_ms{endpoint=%q,quantile=\"0.5\"} %g\n", e.Name, e.P50MS)
-		p("contend_request_latency_ms{endpoint=%q,quantile=\"0.99\"} %g\n", e.Name, e.P99MS)
-	}
-	return err
+	return s.reg.WritePrometheus(w)
 }

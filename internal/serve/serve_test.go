@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 // newTestServer builds a store-backed Server plus its httptest host; the
@@ -572,14 +573,94 @@ func TestStatsAndMetrics(t *testing.T) {
 	for _, want := range []string{
 		"contend_store_hits_total 4",
 		"contend_store_misses_total 4",
+		"contend_store_puts_total 4",
 		"contend_sims_total 4",
 		"contend_sims_budget 4",
 		`contend_requests_total{endpoint="sweep"} 2`,
-		`contend_request_latency_ms{endpoint="sweep",quantile="0.99"}`,
+		`contend_request_latency_ms_count{endpoint="sweep"} 2`,
+		`contend_request_latency_ms_bucket{endpoint="sweep",le="+Inf"} 2`,
+		// Engine, kernel, pool, and runtime families from the observer.
+		`contend_engine_cells_total{outcome="simulated"} 4`,
+		`contend_engine_cells_total{outcome="replayed"} 4`,
+		"contend_engine_sim_duration_ms_count 4",
+		"contend_engine_admit_wait_ms_count 4",
+		"contend_kernel_events_fired_total",
+		"contend_kernel_idle_slots_skipped_total",
+		"contend_pool_tx_recycles_total",
+		"contend_runtime_goroutines",
+		"contend_runtime_gc_cycles_total",
 	} {
 		if !strings.Contains(string(prom), want) {
 			t.Errorf("/metrics missing %q:\n%s", want, prom)
 		}
+	}
+}
+
+// TestPprofAndSpans: -pprof mounts the profiling handlers on the server's
+// own mux (and they stay absent by default), and a configured span sink
+// receives one lifecycle span per grid cell with the hit/miss attribute.
+func TestPprofAndSpans(t *testing.T) {
+	var spanBuf bytes.Buffer
+	sink := obs.NewJSONL(&spanBuf)
+	_, hs := newTestServer(t, Config{Pprof: true, Spans: sink})
+
+	resp, err := http.Get(hs.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/: HTTP %d, want 200 with Pprof on", resp.StatusCode)
+	}
+
+	req := sweepRequest{Scenarios: testGrid()[:1], Seeds: repro.Seeds(3, 2)}
+	for i := 0; i < 2; i++ {
+		if resp, body := postJSON(t, hs.URL+"/v1/sweep", "a", req); resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep: HTTP %d %s", resp.StatusCode, body)
+		}
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatalf("span sink error: %v", err)
+	}
+	var sim, replay int
+	for _, line := range strings.Split(strings.TrimSpace(spanBuf.String()), "\n") {
+		var span struct {
+			Name  string `json:"name"`
+			DurNs int64  `json:"dur_ns"`
+			Attrs []struct {
+				K string `json:"k"`
+				V any    `json:"v"`
+			} `json:"attrs"`
+		}
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("span line not JSON: %v\n%s", err, line)
+		}
+		if span.Name != "cell" {
+			t.Fatalf("span name %q, want cell", span.Name)
+		}
+		for _, a := range span.Attrs {
+			if a.K == "simulated" {
+				if a.V == true {
+					sim++
+				} else {
+					replay++
+				}
+			}
+		}
+	}
+	if sim != 2 || replay != 2 {
+		t.Fatalf("spans: %d simulated + %d replayed, want 2 + 2\n%s", sim, replay, spanBuf.String())
+	}
+
+	// Default config: profiling endpoints absent.
+	_, hs2 := newTestServer(t, Config{})
+	resp, err = http.Get(hs2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("/debug/pprof/ served without Pprof enabled")
 	}
 }
 

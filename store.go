@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/store"
 )
@@ -36,7 +37,7 @@ type Store struct {
 	key string // canonicalized dir, the open-registry entry Close releases
 	log *store.Log
 
-	hits, misses atomic.Int64
+	hits, misses, puts atomic.Int64
 
 	mu       sync.Mutex
 	inflight map[store.Key]*flight
@@ -134,7 +135,11 @@ func (st *Store) Put(fp string, seed uint64, r Result) error {
 	if err != nil {
 		return fmt.Errorf("repro: encoding result for store: %w", err)
 	}
-	return st.log.Put(store.Key{Fingerprint: fp, Seed: seed}, payload)
+	if err := st.log.Put(store.Key{Fingerprint: fp, Seed: seed}, payload); err != nil {
+		return err
+	}
+	st.puts.Add(1)
+	return nil
 }
 
 // do serves one cell: a Get hit replays the stored Result; otherwise the
@@ -146,6 +151,14 @@ func (st *Store) Put(fp string, seed uint64, r Result) error {
 // write-through failure does not fail the cell — the computed Result is
 // served and the error is recorded in Stats.WriteErr.
 func (st *Store) do(fp string, seed uint64, run func() (Result, error)) (Result, error) {
+	return st.doTimed(fp, seed, run, nil)
+}
+
+// doTimed is do with an optional write-through timer: when putDur is
+// non-nil, the wall time of the leader's Put lands there. A nil putDur
+// reads no clock at all, so the uncached path costs exactly what do always
+// cost — the nil-observer contract extends down to here.
+func (st *Store) doTimed(fp string, seed uint64, run func() (Result, error), putDur *time.Duration) (Result, error) {
 	k := store.Key{Fingerprint: fp, Seed: seed}
 	for {
 		if res, ok := st.Get(fp, seed); ok {
@@ -176,7 +189,15 @@ func (st *Store) do(fp string, seed uint64, run func() (Result, error)) (Result,
 		st.misses.Add(1)
 		f.res, f.err = run()
 		if f.err == nil {
-			if perr := st.Put(fp, seed, f.res); perr != nil {
+			var perr error
+			if putDur != nil {
+				t0 := time.Now()
+				perr = st.Put(fp, seed, f.res)
+				*putDur = time.Since(t0)
+			} else {
+				perr = st.Put(fp, seed, f.res)
+			}
+			if perr != nil {
 				st.mu.Lock()
 				if st.writeErr == nil {
 					st.writeErr = perr
@@ -202,8 +223,12 @@ type StoreStats struct {
 	Bytes                   int64
 	// Hits counts cells the engine served from the store (replayed or
 	// joined to an in-flight duplicate) since OpenStore; Misses counts
-	// cells it had to simulate. Direct Get/Put calls are not counted.
+	// cells it had to simulate. Direct Get calls are not counted.
 	Hits, Misses int64
+	// Puts counts successful record writes since OpenStore — write-throughs
+	// on miss plus direct Put calls. Misses ≈ Puts in a healthy store;
+	// a persistent gap means write-through failures (see WriteErr).
+	Puts int64
 	// InFlight is the number of cells currently simulating through this
 	// store (singleflight leaders that have not completed) — the live
 	// gauge a serving layer reports alongside the cumulative counters.
@@ -222,7 +247,8 @@ func (st *Store) Stats() StoreStats {
 	st.mu.Unlock()
 	return StoreStats{
 		Records: ls.Records, Stale: ls.Stale, Corrupt: ls.Corrupt, Bytes: ls.Bytes,
-		Hits: st.hits.Load(), Misses: st.misses.Load(), InFlight: inflight, WriteErr: werr,
+		Hits: st.hits.Load(), Misses: st.misses.Load(), Puts: st.puts.Load(),
+		InFlight: inflight, WriteErr: werr,
 	}
 }
 

@@ -160,6 +160,9 @@ func (e *Engine) fingerprints(scenarios []Scenario) []string {
 // miss, deduplicated against identical in-flight cells. Replayed cells are
 // bit-identical to simulated ones, so callers cannot tell the difference.
 func (e *Engine) runCell(ctx context.Context, s Scenario, seed uint64, fp string) (Result, error) {
+	if e.Observer != nil {
+		return e.runCellObserved(ctx, s, seed, fp)
+	}
 	run := func() (Result, error) {
 		if e.Admit != nil {
 			release, err := e.Admit(ctx)
